@@ -1,0 +1,195 @@
+// Top-level benchmark harness: one testing.B benchmark per table and
+// figure of the paper's evaluation, each driving the same internal/exp
+// campaign the chronos-bench binary uses, plus micro-benchmarks for the
+// pipeline's hot kernels. Reduced trial counts keep -bench runs
+// tractable; the binary regenerates the full-size campaigns.
+package chronos
+
+import (
+	"math/rand"
+	"testing"
+
+	"chronos/internal/dsp"
+	"chronos/internal/exp"
+	"chronos/internal/ndft"
+	"chronos/internal/tof"
+	"chronos/internal/wifi"
+)
+
+// quick returns bench-scale options: small campaigns, fixed seed.
+func quick(trials int) exp.Options { return exp.Options{Seed: 1, Trials: trials} }
+
+func BenchmarkFig3CRTAlignment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig3(quick(1))
+		if r.Metrics["error_ps"] > 100 {
+			b.Fatal("CRT solver regressed")
+		}
+	}
+}
+
+func BenchmarkFig4MultipathProfile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig4(quick(1))
+		if r.Metrics["peaks"] < 3 {
+			b.Fatal("profile recovery regressed")
+		}
+	}
+}
+
+func BenchmarkFig7aToFAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.Fig7a(quick(4))
+	}
+}
+
+func BenchmarkFig7bProfileSparsity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.Fig7b(quick(4))
+	}
+}
+
+func BenchmarkFig7cDetectionDelay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.Fig7c(quick(3))
+	}
+}
+
+func BenchmarkFig8aDistanceSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.Fig8a(quick(6))
+	}
+}
+
+func BenchmarkFig8bLocalization30cm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.Fig8b(quick(2))
+	}
+}
+
+func BenchmarkFig8cLocalization100cm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.Fig8c(quick(2))
+	}
+}
+
+func BenchmarkFig9aHopSweepTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig9a(quick(30))
+		if m := r.Metrics["median_ms"]; m < 50 || m > 150 {
+			b.Fatalf("hop median drifted: %v ms", m)
+		}
+	}
+}
+
+func BenchmarkFig9bVideoTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig9b(quick(1))
+		if r.Metrics["stalls"] != 0 {
+			b.Fatal("video stalled")
+		}
+	}
+}
+
+func BenchmarkFig9cTCPTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.Fig9c(quick(1))
+	}
+}
+
+func BenchmarkFig10aDroneDeviation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.Fig10a(quick(2))
+	}
+}
+
+func BenchmarkFig10bDroneTrajectory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.Fig10b(quick(1))
+	}
+}
+
+func BenchmarkAblationDelayCompensation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.AblationDelay(quick(3))
+	}
+}
+
+func BenchmarkAblationCFOCancellation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.AblationCFO(quick(3))
+	}
+}
+
+func BenchmarkAblationBandModes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.AblationBands(quick(3))
+	}
+}
+
+// --- Micro-benchmarks for the pipeline's hot kernels ---
+
+func BenchmarkNDFTInvert(b *testing.B) {
+	freqs := wifi.Centers(wifi.Bands5GHz())
+	taus := ndft.TauGrid(120e-9, 0.2e-9)
+	mat, err := ndft.NewMatrix(freqs, taus)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := make(dsp.Vec, len(taus))
+	p[100], p[180] = 1, 0.5
+	h := mat.Forward(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mat.Invert(h, ndft.InvertOptions{MaxIter: 500}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkZeroSubcarrierInterpolation(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	rx, tx := newBenchRadio(rng), newBenchRadio(rng)
+	ch := NewChannel([]Path{{Delay: 10e-9, Gain: 1}, {Delay: 15e-9, Gain: 0.5}})
+	m := rx.Measure(rng, ch, wifi.Band{Channel: 36, Center: 5.18e9}, MeasureOptions{SNRdB: 40, TX: tx})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tof.ZeroSubcarrier(m, 1, tof.InterpSpline); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFullToFEstimate(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	rx, tx := newBenchRadio(rng), newBenchRadio(rng)
+	link := &Link{TX: tx, RX: rx, Channel: NewChannel([]Path{
+		{Delay: 10e-9, Gain: 1}, {Delay: 14e-9, Gain: 0.6}, {Delay: 19e-9, Gain: 0.4},
+	}), SNRdB: 28}
+	bands := Bands5GHz()
+	est := NewToFEstimator(ToFConfig{Mode: Bands5GHzOnly, MaxIter: 1000})
+	sweep := link.Sweep(rng, bands, 3, 2.4e-3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Estimate(bands, sweep); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCSISweep35Bands(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	rx, tx := newBenchRadio(rng), newBenchRadio(rng)
+	link := &Link{TX: tx, RX: rx, Channel: NewChannel([]Path{{Delay: 10e-9, Gain: 1}}), SNRdB: 28}
+	bands := USBands()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		link.Sweep(rng, bands, 3, 2.4e-3)
+	}
+}
+
+func newBenchRadio(rng *rand.Rand) *Radio {
+	r := NewRadio(rng)
+	r.Quirk24 = false
+	return r
+}

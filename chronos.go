@@ -1,0 +1,174 @@
+// Package chronos is a Go reproduction of "Sub-Nanosecond Time of Flight
+// on Commercial Wi-Fi Cards" (Vasisht, Kumar, Katabi): a complete
+// implementation of the Chronos time-of-flight and device-to-device
+// localization system, together with the simulated Wi-Fi substrate (CSI
+// measurement, multipath propagation, channel hopping, network and drone
+// models) its evaluation requires.
+//
+// The package re-exports the library's primary types so applications can
+// depend on a single import:
+//
+//	est := chronos.NewToFEstimator(chronos.ToFConfig{})
+//	result, err := est.Estimate(bands, sweep)
+//
+// Heavier experiment drivers live in the cmd/ binaries; runnable
+// walkthroughs live under examples/.
+package chronos
+
+import (
+	"math/rand"
+
+	"chronos/internal/csi"
+	"chronos/internal/drone"
+	"chronos/internal/geo"
+	"chronos/internal/hop"
+	"chronos/internal/loc"
+	"chronos/internal/rf"
+	"chronos/internal/sim"
+	"chronos/internal/tof"
+	"chronos/internal/wifi"
+)
+
+// SpeedOfLight converts time of flight to distance (m/s).
+const SpeedOfLight = wifi.SpeedOfLight
+
+// Band identifies one Wi-Fi frequency band (channel number + center).
+type Band = wifi.Band
+
+// USBands returns the 35 U.S. Wi-Fi bands the paper sweeps.
+func USBands() []Band { return wifi.USBands() }
+
+// Bands5GHz returns the 5 GHz subset (quirk-free CSI).
+func Bands5GHz() []Band { return wifi.Bands5GHz() }
+
+// Bands24GHz returns the 2.4 GHz subset.
+func Bands24GHz() []Band { return wifi.Bands24GHz() }
+
+// ToFConfig configures the time-of-flight estimator. The zero value gives
+// the paper-faithful pipeline: fused 5 GHz (h̃²) and 2.4 GHz (h̃⁸) groups
+// with spline zero-subcarrier interpolation and CFO cancellation.
+type ToFConfig = tof.Config
+
+// Band-mode selectors for ToFConfig.Mode.
+const (
+	BandsFused       = tof.BandsFused
+	Bands5GHzOnly    = tof.Bands5GHzOnly
+	Bands24Only      = tof.Bands24Only
+	BandsAllCoherent = tof.BandsAllCoherent
+)
+
+// ToFEstimator turns CSI band sweeps into sub-nanosecond time-of-flight
+// estimates (§4–§7 of the paper).
+type ToFEstimator = tof.Estimator
+
+// ToFEstimate is one estimation result (ToF, distance, multipath profile).
+type ToFEstimate = tof.Estimate
+
+// NewToFEstimator builds an estimator.
+func NewToFEstimator(cfg ToFConfig) *ToFEstimator { return tof.NewEstimator(cfg) }
+
+// CalibrateToF measures the constant hardware offset of a device pair at
+// a known distance (§7); store the result in ToFConfig.CalibrationOffset.
+func CalibrateToF(est *ToFEstimator, bands []Band, sweep [][]CSIPair, trueDistance float64) (float64, error) {
+	return tof.Calibrate(est, bands, sweep, trueDistance)
+}
+
+// Radio is a simulated Intel 5300-class Wi-Fi front end.
+type Radio = csi.Radio
+
+// NewRadio draws a radio with paper-calibrated impairments (detection
+// delay, residual CFO, the 2.4 GHz phase quirk, 8-bit CSI quantization).
+func NewRadio(rng *rand.Rand) *Radio { return csi.NewRadio(rng) }
+
+// Link couples two radios over a reciprocal multipath channel and
+// produces the forward/reverse CSI pairs of the §4 hopping protocol.
+type Link = csi.Link
+
+// CSIPair is a forward/reverse CSI measurement pair (§7).
+type CSIPair = csi.Pair
+
+// MeasureOptions controls one simulated CSI capture.
+type MeasureOptions = csi.MeasureOptions
+
+// ArrayLink couples a single-antenna transmitter with a multi-chain
+// receiver card for §8 localization (shared-packet CSI across chains).
+type ArrayLink = csi.ArrayLink
+
+// Channel is a sparse multipath channel h(f) = Σ aₖ·e^{−j2πfτₖ}.
+type Channel = rf.Channel
+
+// Path is one propagation path (delay, amplitude).
+type Path = rf.Path
+
+// NewChannel builds a channel from paths, sorted by delay.
+func NewChannel(paths []Path) *Channel { return rf.NewChannel(paths) }
+
+// Point is a 2D position in meters.
+type Point = geo.Point
+
+// Array is a rigid antenna array.
+type Array = geo.Array
+
+// LinearArray builds n antennas spaced sep meters apart (§12.2 uses
+// 3 antennas at 30 cm for clients and 100 cm for AP-style receivers).
+func LinearArray(n int, sep float64) Array { return geo.LinearArray(n, sep) }
+
+// TriangleArray builds three non-collinear antennas with the given side
+// length — the geometry §8 needs for an unambiguous three-circle fix.
+func TriangleArray(side float64) Array { return geo.TriangleArray(side) }
+
+// Localizer performs §8 device-to-device localization from per-antenna
+// time-of-flight.
+type Localizer = loc.Localizer
+
+// Fix is one localization result.
+type Fix = loc.Fix
+
+// NewLocalizer builds a localizer over an antenna array.
+func NewLocalizer(array Array, cfg ToFConfig) *Localizer { return loc.NewLocalizer(array, cfg) }
+
+// Office is the simulated 20 m × 20 m evaluation floor of §12.
+type Office = sim.Office
+
+// OfficeConfig tunes floor-plan generation.
+type OfficeConfig = sim.OfficeConfig
+
+// Placement is one TX/RX placement on the floor.
+type Placement = sim.Placement
+
+// NewOffice generates a floor plan deterministically from rng.
+func NewOffice(rng *rand.Rand, cfg OfficeConfig) *Office { return sim.NewOffice(rng, cfg) }
+
+// HopConfig tunes the §4 channel-hopping protocol.
+type HopConfig = hop.Config
+
+// HopSweep runs one hop-protocol sweep across bands in virtual time and
+// returns its timing (Fig. 9a measures its duration distribution).
+func HopSweep(rng *rand.Rand, bands []Band, cfg HopConfig) hop.SweepResult {
+	return hop.Sweep(rng, bands, cfg)
+}
+
+// DroneTrack runs the §9 personal-drone distance-keeping simulation.
+func DroneTrack(rng *rand.Rand, sensor drone.RangeSensor, cfg drone.TrackConfig) *drone.TrackResult {
+	return drone.Track(rng, sensor, cfg)
+}
+
+// DroneSensor is the statistical Chronos range-sensor model used by the
+// drone experiments; see internal/drone for the full-pipeline variant.
+type DroneSensor = drone.StatSensor
+
+// DroneConfig tunes a drone following run.
+type DroneConfig = drone.TrackConfig
+
+// MeasureDistance is the quickstart helper: it sweeps all bands over the
+// link, runs the faithful estimator, and returns the estimated distance
+// in meters. calOffset is the pair's calibration constant (0 for
+// uncalibrated hardware-delay-inclusive output).
+func MeasureDistance(rng *rand.Rand, link *Link, est *ToFEstimator, bands []Band, calOffset float64) (float64, error) {
+	sweep := link.Sweep(rng, bands, 3, 2.4e-3)
+	r, err := est.Estimate(bands, sweep)
+	if err != nil {
+		return 0, err
+	}
+	return (r.ToF - calOffset) * SpeedOfLight, nil
+}

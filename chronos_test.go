@@ -1,0 +1,75 @@
+package chronos
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+
+	// Two devices 3 m apart over a clean channel.
+	tx, rx := NewRadio(rng), NewRadio(rng)
+	tx.Quirk24, rx.Quirk24 = false, false
+	link := &Link{
+		TX: tx, RX: rx,
+		Channel: NewChannel([]Path{{Delay: 3 / SpeedOfLight, Gain: 1}}),
+		SNRdB:   30,
+	}
+	bands := Bands5GHz()
+	est := NewToFEstimator(ToFConfig{Mode: Bands5GHzOnly, MaxIter: 800})
+
+	// Calibrate once at a known distance, then measure.
+	calSweep := link.Sweep(rng, bands, 3, 2.4e-3)
+	offset, err := CalibrateToF(est, bands, calSweep, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tofSec := offset // offset is in seconds of ToF; reuse for distance calc below
+	_ = tofSec
+
+	d, err := MeasureDistance(rng, link, est, bands, offset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-3) > 0.25 {
+		t.Errorf("distance = %.3f m, want ≈3 m", d)
+	}
+}
+
+func TestFacadeBandHelpers(t *testing.T) {
+	if len(USBands()) != 35 {
+		t.Errorf("USBands = %d", len(USBands()))
+	}
+	if len(Bands5GHz())+len(Bands24GHz()) != 35 {
+		t.Error("band split inconsistent")
+	}
+}
+
+func TestFacadeOfficeAndHop(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	office := NewOffice(rng, OfficeConfig{})
+	if len(office.Locations) != 30 {
+		t.Errorf("locations = %d", len(office.Locations))
+	}
+	res := HopSweep(rng, USBands(), HopConfig{})
+	if res.Duration <= 0 || len(res.Visits) < 35 {
+		t.Errorf("hop sweep: %v, %d visits", res.Duration, len(res.Visits))
+	}
+}
+
+func TestFacadeDrone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	res := DroneTrack(rng, DroneSensor{}, DroneConfig{Duration: 10})
+	if len(res.Deviations) == 0 {
+		t.Fatal("no deviations")
+	}
+}
+
+func TestFacadeLocalizer(t *testing.T) {
+	l := NewLocalizer(LinearArray(3, 0.3), ToFConfig{})
+	if len(l.Estimators) != 3 {
+		t.Errorf("estimators = %d", len(l.Estimators))
+	}
+}

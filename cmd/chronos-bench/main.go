@@ -1,0 +1,93 @@
+// Command chronos-bench regenerates every table and figure of the paper's
+// evaluation (§12) from the simulated testbed and prints them as text
+// tables. Each figure can be selected individually:
+//
+//	chronos-bench              # run everything
+//	chronos-bench -fig 7a      # one figure
+//	chronos-bench -ablate cfo  # one ablation study
+//	chronos-bench -trials 50   # scale campaign sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"chronos/internal/exp"
+)
+
+var figures = []struct {
+	key string
+	fn  func(exp.Options) *exp.Result
+}{
+	{"3", exp.Fig3},
+	{"4", exp.Fig4},
+	{"7a", exp.Fig7a},
+	{"7b", exp.Fig7b},
+	{"7c", exp.Fig7c},
+	{"8a", exp.Fig8a},
+	{"8b", exp.Fig8b},
+	{"8c", exp.Fig8c},
+	{"9a", exp.Fig9a},
+	{"9b", exp.Fig9b},
+	{"9c", exp.Fig9c},
+	{"10a", exp.Fig10a},
+	{"10b", exp.Fig10b},
+}
+
+var ablations = []struct {
+	key string
+	fn  func(exp.Options) *exp.Result
+}{
+	{"bands", exp.AblationBands},
+	{"delay", exp.AblationDelay},
+	{"cfo", exp.AblationCFO},
+	{"sparsity", exp.AblationSparsity},
+	{"separation", exp.AblationSeparation},
+}
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate (3,4,7a,7b,7c,8a,8b,8c,9a,9b,9c,10a,10b); empty = all")
+	ablate := flag.String("ablate", "", "ablation to run (bands,delay,cfo,sparsity,separation, or 'all')")
+	trials := flag.Int("trials", 0, "trials per condition (0 = experiment default)")
+	seed := flag.Int64("seed", 1, "campaign seed")
+	flag.Parse()
+
+	opts := exp.Options{Seed: *seed, Trials: *trials}
+
+	if *ablate != "" {
+		ran := false
+		for _, a := range ablations {
+			if *ablate == "all" || a.key == *ablate {
+				fmt.Println(a.fn(opts))
+				ran = true
+			}
+		}
+		if !ran {
+			fmt.Fprintf(os.Stderr, "unknown ablation %q (have: %s, all)\n", *ablate, keys(len(ablations), func(i int) string { return ablations[i].key }))
+			os.Exit(2)
+		}
+		return
+	}
+
+	ran := false
+	for _, f := range figures {
+		if *fig == "" || f.key == *fig {
+			fmt.Println(f.fn(opts))
+			ran = true
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown figure %q (have: %s)\n", *fig, keys(len(figures), func(i int) string { return figures[i].key }))
+		os.Exit(2)
+	}
+}
+
+func keys(n int, get func(int) string) string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = get(i)
+	}
+	return strings.Join(out, ",")
+}

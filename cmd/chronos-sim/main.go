@@ -1,0 +1,97 @@
+// Command chronos-sim runs a configurable end-to-end Chronos experiment:
+// it generates an office floor, places a device pair, sweeps the Wi-Fi
+// bands, and prints per-trial time-of-flight and distance estimates
+// against ground truth.
+//
+//	chronos-sim -trials 10 -nlos -maxdist 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"chronos/internal/sim"
+	"chronos/internal/stats"
+	"chronos/internal/tof"
+	"chronos/internal/wifi"
+)
+
+func main() {
+	trials := flag.Int("trials", 10, "number of random placements")
+	nlos := flag.Bool("nlos", false, "non-line-of-sight placements")
+	maxDist := flag.Float64("maxdist", 15, "maximum device separation (m)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	mode := flag.String("mode", "fused", "band mode: fused, 5ghz, 24ghz, coherent")
+	flag.Parse()
+
+	cfg := tof.Config{MaxIter: 1200}
+	switch *mode {
+	case "fused":
+		cfg.Mode, cfg.Quirk24 = tof.BandsFused, true
+	case "5ghz":
+		cfg.Mode = tof.Bands5GHzOnly
+	case "24ghz":
+		cfg.Mode, cfg.Quirk24 = tof.Bands24Only, true
+	case "coherent":
+		cfg.Mode = tof.BandsAllCoherent
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	quirk := cfg.Quirk24
+
+	rng := rand.New(rand.NewSource(*seed))
+	office := sim.NewOffice(rng, sim.OfficeConfig{})
+	var bands []wifi.Band
+	switch cfg.Mode {
+	case tof.Bands5GHzOnly:
+		bands = wifi.Bands5GHz()
+	case tof.Bands24Only:
+		bands = wifi.Bands24GHz()
+	default:
+		bands = wifi.USBands()
+	}
+	est := tof.NewEstimator(cfg)
+
+	fmt.Printf("office 20x20 m, %d placements, nlos=%v, mode=%s, %d bands\n\n",
+		*trials, *nlos, *mode, len(bands))
+	fmt.Printf("%5s  %9s  %9s  %9s  %9s\n", "trial", "true (m)", "est (m)", "err (cm)", "err (ns)")
+
+	var errsNs []float64
+	for t := 0; t < *trials; t++ {
+		p := office.RandomPlacement(rng, *maxDist, *nlos)
+		link := office.NewLink(rng, p, sim.LinkConfig{Quirk: quirk})
+
+		// One-time device-pair calibration at a known reference spot.
+		calP := office.RandomPlacement(rng, 8, false)
+		link.Channel = office.Channel(calP, 5.5e9)
+		offset, err := tof.Calibrate(est, bands, link.Sweep(rng, bands, 3, 2.4e-3), calP.TrueDistance())
+		if err != nil {
+			fmt.Printf("%5d  calibration failed: %v\n", t, err)
+			continue
+		}
+
+		link.Channel = office.Channel(p, 5.5e9)
+		r, err := est.Estimate(bands, link.Sweep(rng, bands, 3, 2.4e-3))
+		if err != nil {
+			fmt.Printf("%5d  estimate failed: %v\n", t, err)
+			continue
+		}
+		tofSec := r.ToF - offset
+		estDist := tofSec * wifi.SpeedOfLight
+		errNs := (tofSec - p.TrueToF()) * 1e9
+		if errNs < 0 {
+			errNs = -errNs
+		}
+		errsNs = append(errsNs, errNs)
+		fmt.Printf("%5d  %9.3f  %9.3f  %9.1f  %9.3f\n",
+			t, p.TrueDistance(), estDist, errNs*1e-9*wifi.SpeedOfLight*100, errNs)
+	}
+	if len(errsNs) > 0 {
+		fmt.Printf("\nmedian error: %.3f ns (%.1f cm), p95: %.3f ns\n",
+			stats.Median(errsNs), stats.Median(errsNs)*1e-9*wifi.SpeedOfLight*100,
+			stats.Percentile(errsNs, 95))
+	}
+}

@@ -1,0 +1,60 @@
+// Command chronos-traffic runs the §12.3 network-impact experiment: an
+// access point serving a client goes off-channel for one localization
+// sweep, and the effect on a TCP flow and a buffered video stream is
+// reported (Fig. 9b/9c).
+//
+//	chronos-traffic -at 6 -sweeps 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"chronos/internal/hop"
+	"chronos/internal/netsim"
+	"chronos/internal/wifi"
+)
+
+func main() {
+	at := flag.Float64("at", 6, "localization request time (s)")
+	sweeps := flag.Int("sweeps", 1, "number of back-to-back sweeps requested")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+
+	// How long is the AP absent? One hop-protocol sweep per request.
+	var outages []netsim.Outage
+	start := time.Duration(*at * float64(time.Second))
+	var total time.Duration
+	for i := 0; i < *sweeps; i++ {
+		sw := hop.Sweep(rng, wifi.USBands(), hop.Config{})
+		outages = append(outages, netsim.Outage{Start: start + total, Duration: sw.Duration})
+		total += sw.Duration
+	}
+	fmt.Printf("AP off-channel for %.0f ms starting at t=%.1f s (%d sweep(s))\n\n",
+		total.Seconds()*1000, *at, *sweeps)
+
+	// TCP flow.
+	samples := netsim.TCPTrace(rng, netsim.TCPConfig{}, 15*time.Second, time.Second, outages)
+	fmt.Println("TCP throughput (1 s windows):")
+	for _, s := range samples {
+		bar := ""
+		for i := 0; i < int(s.Value/1e6); i++ {
+			bar += "#"
+		}
+		fmt.Printf("  t=%2.0fs  %6.2f Mbit/s  %s\n", s.At.Seconds(), s.Value/1e6, bar)
+	}
+	dip := netsim.ThroughputDipPercent(samples, outages[0])
+	fmt.Printf("throughput dip during localization: %.1f%%\n\n", dip)
+
+	// Video stream.
+	tr := netsim.Video(netsim.VideoConfig{}, 12*time.Second, outages)
+	fmt.Printf("video stream: %d stall(s), %.0f ms stalled\n", tr.Stalls, tr.StallTime.Seconds()*1000)
+	last := tr.Downloaded[len(tr.Downloaded)-1]
+	lastP := tr.Played[len(tr.Played)-1]
+	fmt.Printf("downloaded %.1f MB, played %.1f MB, final buffer %.0f KB\n",
+		last.Value/1e6, lastP.Value/1e6, (last.Value-lastP.Value)/1e3)
+}

@@ -1,0 +1,88 @@
+package csi
+
+import (
+	"math/rand"
+
+	"chronos/internal/rf"
+	"chronos/internal/wifi"
+)
+
+// ArrayLink couples a single-antenna transmitter with an n-chain receiver
+// card for the §8 localization scenario. One forward packet yields one
+// CSI measurement per receive antenna, all sharing the packet's detection
+// delay and CFO (they are card-level effects); the receiver then sends
+// its acknowledgments round-robin from each antenna, so every antenna i
+// gets a reverse measurement over its own reciprocal channel and the §7
+// product is the clean squared channel h̃ᵢ² with first peak at 2τᵢ —
+// the per-antenna "pairwise distances" of §8.
+type ArrayLink struct {
+	TX *Radio // single-antenna transmitter
+	RX *Radio // n-chain receiver card (shared oscillator and detector)
+	// Channels is the per-receive-antenna propagation channel.
+	Channels []*rf.Channel
+	SNRdB    float64
+	// PairSeparation is the packet→ACK turnaround (default 28 µs).
+	PairSeparation        float64
+	DisableDetectionDelay bool
+	DisableCFO            bool
+}
+
+// MeasureSet captures one forward packet across all chains plus one
+// round-robin reverse measurement per antenna, and returns one Pair per
+// antenna.
+func (l *ArrayLink) MeasureSet(rng *rand.Rand, b wifi.Band, t float64) []Pair {
+	sep := l.PairSeparation
+	if sep == 0 {
+		sep = 28e-6
+	}
+	snr := l.SNRdB
+	if snr == 0 {
+		snr = 30
+	}
+	fwd := l.RX.MeasureArray(rng, l.Channels, b, MeasureOptions{
+		SNRdB: snr, Time: t, TX: l.TX,
+		DisableDetectionDelay: l.DisableDetectionDelay,
+		DisableCFO:            l.DisableCFO,
+	})
+	pairs := make([]Pair, len(fwd))
+	for i := range fwd {
+		// The i-th ACK is transmitted from RX antenna i, so the
+		// transmitter measures antenna i's reciprocal channel.
+		rev := l.TX.Measure(rng, l.Channels[i], b, MeasureOptions{
+			SNRdB: snr, Time: t + sep + float64(i)*sep, TX: l.RX,
+			DisableDetectionDelay: l.DisableDetectionDelay,
+			DisableCFO:            l.DisableCFO,
+		})
+		pairs[i] = Pair{Forward: fwd[i], Reverse: rev}
+	}
+	return pairs
+}
+
+// Sweep runs pairsPerBand measurement sets on every band and returns the
+// per-antenna band sweeps: out[ant][band] is the pair list for that
+// antenna and band, directly consumable by one tof.Estimator per antenna.
+func (l *ArrayLink) Sweep(rng *rand.Rand, bands []wifi.Band, pairsPerBand int, dwell float64) [][][]Pair {
+	if pairsPerBand < 1 {
+		pairsPerBand = 1
+	}
+	if dwell == 0 {
+		dwell = 2.4e-3
+	}
+	n := len(l.Channels)
+	out := make([][][]Pair, n)
+	for a := 0; a < n; a++ {
+		out[a] = make([][]Pair, len(bands))
+	}
+	t := 0.0
+	for bi, b := range bands {
+		step := dwell / float64(pairsPerBand+1)
+		for p := 0; p < pairsPerBand; p++ {
+			set := l.MeasureSet(rng, b, t+float64(p+1)*step)
+			for a := 0; a < n; a++ {
+				out[a][bi] = append(out[a][bi], set[a])
+			}
+		}
+		t += dwell
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package csi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chronos/internal/rf"
+	"chronos/internal/wifi"
+)
+
+func arrayChannels(base float64, offsets ...float64) []*rf.Channel {
+	out := make([]*rf.Channel, len(offsets))
+	for i, off := range offsets {
+		out[i] = rf.NewChannel([]rf.Path{{Delay: (base + off) * 1e-9, Gain: 1}})
+	}
+	return out
+}
+
+func TestMeasureArraySharesPacketImpairments(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rx, tx := NewRadio(rng), NewRadio(rng)
+	chans := arrayChannels(10, 0, 0.5, 1.0)
+	ms := rx.MeasureArray(rng, chans, band5(), MeasureOptions{SNRdB: 40, TX: tx})
+	if len(ms) != 3 {
+		t.Fatalf("measurements = %d", len(ms))
+	}
+	// All chains must report the identical detection delay (one detector
+	// per card) and the same timestamp.
+	for i := 1; i < 3; i++ {
+		if ms[i].DetectionDelay != ms[0].DetectionDelay {
+			t.Errorf("chain %d delay %v != chain 0 %v", i, ms[i].DetectionDelay, ms[0].DetectionDelay)
+		}
+		if ms[i].Time != ms[0].Time {
+			t.Errorf("chain %d time differs", i)
+		}
+	}
+	// Chains see different channels, so values must differ.
+	same := true
+	for k := range ms[0].Values {
+		if ms[0].Values[k] != ms[1].Values[k] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("chains reported identical CSI despite different channels")
+	}
+}
+
+func TestArrayLinkMeasureSetRoundRobinACK(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := &ArrayLink{
+		TX: NewRadio(rng), RX: NewRadio(rng),
+		Channels: arrayChannels(10, 0, 2, 4),
+		SNRdB:    60,
+	}
+	l.TX.Quirk24 = false
+	l.RX.Quirk24 = false
+	set := l.MeasureSet(rng, band5(), 0.5)
+	if len(set) != 3 {
+		t.Fatalf("pairs = %d", len(set))
+	}
+	// Reverse measurements are taken at distinct times (round-robin ACKs).
+	if set[0].Reverse.Time == set[1].Reverse.Time {
+		t.Error("reverse measurements share a timestamp")
+	}
+	// Each pair's reverse must reflect that antenna's channel delay: the
+	// phase slope across subcarriers differs between antennas.
+	if set[0].Reverse.Values[0] == set[2].Reverse.Values[0] {
+		t.Error("reverse CSI identical across antennas with different channels")
+	}
+}
+
+func TestArrayLinkSweepShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := &ArrayLink{
+		TX: NewRadio(rng), RX: NewRadio(rng),
+		Channels: arrayChannels(8, 0, 1),
+	}
+	bands := wifi.Bands5GHz()
+	sw := l.Sweep(rng, bands, 2, 2e-3)
+	if len(sw) != 2 {
+		t.Fatalf("antennas = %d", len(sw))
+	}
+	for a := range sw {
+		if len(sw[a]) != len(bands) {
+			t.Fatalf("antenna %d: bands = %d", a, len(sw[a]))
+		}
+		for b := range sw[a] {
+			if len(sw[a][b]) != 2 {
+				t.Fatalf("antenna %d band %d: pairs = %d", a, b, len(sw[a][b]))
+			}
+		}
+	}
+}
+
+func TestArrayLinkDifferentialPrecision(t *testing.T) {
+	// The decisive property: the *difference* between two antennas'
+	// zero-subcarrier phases must be far more stable than the absolute
+	// phases, because detection delay and CFO are packet-level.
+	rng := rand.New(rand.NewSource(4))
+	l := &ArrayLink{
+		TX: NewRadio(rng), RX: NewRadio(rng),
+		Channels: arrayChannels(10, 0, 0.7),
+		SNRdB:    30,
+	}
+	l.TX.Quirk24, l.RX.Quirk24 = false, false
+	b := band5()
+
+	var absVar, diffVar []float64
+	for i := 0; i < 40; i++ {
+		set := l.MeasureSet(rng, b, float64(i)*1e-3)
+		// Raw subcarrier-0-adjacent forward phase per antenna (index 14
+		// is subcarrier −1): absolute phase drifts with CFO per packet.
+		p0 := phaseOf(set[0].Forward.Values[14])
+		p1 := phaseOf(set[1].Forward.Values[14])
+		absVar = append(absVar, p0)
+		diffVar = append(diffVar, wrap(p1-p0))
+	}
+	if spread(diffVar) > spread(absVar)/3 {
+		t.Errorf("differential spread %v not much tighter than absolute %v",
+			spread(diffVar), spread(absVar))
+	}
+}
+
+func phaseOf(c complex128) float64 { return math.Atan2(imag(c), real(c)) }
+
+func wrap(x float64) float64 {
+	for x > math.Pi {
+		x -= 2 * math.Pi
+	}
+	for x <= -math.Pi {
+		x += 2 * math.Pi
+	}
+	return x
+}
+
+// spread returns a crude circular spread measure: mean absolute deviation
+// from the circular mean.
+func spread(ph []float64) float64 {
+	var sx, sy float64
+	for _, p := range ph {
+		sx += math.Cos(p)
+		sy += math.Sin(p)
+	}
+	mean := math.Atan2(sy, sx)
+	var s float64
+	for _, p := range ph {
+		s += math.Abs(wrap(p - mean))
+	}
+	return s / float64(len(ph))
+}

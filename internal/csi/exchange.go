@@ -1,0 +1,83 @@
+package csi
+
+import (
+	"math/rand"
+
+	"chronos/internal/rf"
+	"chronos/internal/wifi"
+)
+
+// Pair is the forward/reverse CSI pair §7 multiplies: the receiver's
+// measurement of the transmitter's packet and the transmitter's
+// measurement of the receiver's acknowledgment, captured a short time
+// apart on the same band.
+type Pair struct {
+	Forward Measurement // measured at the receiver (CSIʳˣ)
+	Reverse Measurement // measured at the transmitter (CSIᵗˣ)
+}
+
+// Link couples two radios through a common propagation channel and
+// produces CSI pairs the way the Chronos hopping protocol does.
+type Link struct {
+	TX, RX *Radio
+	// Channel is the over-the-air channel, assumed reciprocal (§7):
+	// identical in both directions up to the hardware constant κ, which
+	// the radios add themselves.
+	Channel *rf.Channel
+	// SNRdB is the per-subcarrier measurement SNR (default 30).
+	SNRdB float64
+	// PairSeparation is the packet→ACK turnaround (seconds); defaults to
+	// 28 µs (SIFS + ACK duration), leaving the small residual CFO phase
+	// error the paper notes in §7 observation (1).
+	PairSeparation float64
+	// DisableDetectionDelay / DisableCFO feed the ablation benches.
+	DisableDetectionDelay bool
+	DisableCFO            bool
+}
+
+// MeasurePair captures one forward/reverse CSI pair on band b at simulated
+// time t.
+func (l *Link) MeasurePair(rng *rand.Rand, b wifi.Band, t float64) Pair {
+	sep := l.PairSeparation
+	if sep == 0 {
+		sep = 28e-6
+	}
+	snr := l.SNRdB
+	if snr == 0 {
+		snr = 30
+	}
+	fwd := l.RX.Measure(rng, l.Channel, b, MeasureOptions{
+		SNRdB: snr, Time: t, TX: l.TX,
+		DisableDetectionDelay: l.DisableDetectionDelay,
+		DisableCFO:            l.DisableCFO,
+	})
+	rev := l.TX.Measure(rng, l.Channel, b, MeasureOptions{
+		SNRdB: snr, Time: t + sep, TX: l.RX,
+		DisableDetectionDelay: l.DisableDetectionDelay,
+		DisableCFO:            l.DisableCFO,
+	})
+	return Pair{Forward: fwd, Reverse: rev}
+}
+
+// Sweep measures pairsPerBand CSI pairs on every band, advancing simulated
+// time by dwell per band (the 2–3 ms per-band dwell of §4). It returns one
+// slice of pairs per band, index-aligned with bands.
+func (l *Link) Sweep(rng *rand.Rand, bands []wifi.Band, pairsPerBand int, dwell float64) [][]Pair {
+	if pairsPerBand < 1 {
+		pairsPerBand = 1
+	}
+	if dwell == 0 {
+		dwell = 2.4e-3
+	}
+	out := make([][]Pair, len(bands))
+	t := 0.0
+	for i, b := range bands {
+		out[i] = make([]Pair, pairsPerBand)
+		step := dwell / float64(pairsPerBand+1)
+		for p := 0; p < pairsPerBand; p++ {
+			out[i][p] = l.MeasurePair(rng, b, t+float64(p+1)*step)
+		}
+		t += dwell
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+// Package drone implements the §9 personal-drone application: a quadrotor
+// that keeps a fixed distance to the user's device using only Chronos
+// range estimates and a negative-feedback controller, evaluated in a
+// motion-capture room as in §12.4.
+package drone
+
+import (
+	"math"
+	"math/rand"
+
+	"chronos/internal/geo"
+)
+
+// RangeSensor produces a distance measurement from the drone to the user
+// device. The production implementation wraps the full Chronos ToF
+// pipeline; experiments may use a statistical model fitted to the
+// pipeline's measured error distribution for speed.
+type RangeSensor interface {
+	// Range returns a distance estimate in meters between pos and target.
+	Range(rng *rand.Rand, pos, target geo.Point) float64
+}
+
+// StatSensor is a range sensor whose errors follow the empirical Chronos
+// ToF error model: a tight Gaussian core with occasional heavy-tail
+// outliers (the profile ghost failures of §12.1's CDF tail).
+type StatSensor struct {
+	CoreSigma   float64 // core error std dev in meters (default 0.10)
+	OutlierProb float64 // probability of a tail error (default 0.05)
+	OutlierMag  float64 // tail error magnitude in meters (default 3.75 ≈ 12.5 ns)
+}
+
+// Range implements RangeSensor.
+func (s StatSensor) Range(rng *rand.Rand, pos, target geo.Point) float64 {
+	sigma := s.CoreSigma
+	if sigma == 0 {
+		sigma = 0.10
+	}
+	op := s.OutlierProb
+	if op == 0 {
+		op = 0.05
+	}
+	om := s.OutlierMag
+	if om == 0 {
+		om = 3.75
+	}
+	d := pos.Dist(target) + rng.NormFloat64()*sigma
+	if rng.Float64() < op {
+		if rng.Float64() < 0.5 {
+			d -= om
+		} else {
+			d += om
+		}
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Controller is the §9 negative-feedback distance keeper with the
+// measurement averaging and outlier rejection the paper credits for the
+// drone's higher accuracy (§12.4: "drones measure multiple distances as
+// they navigate, which helps de-noise measurements and remove outliers").
+type Controller struct {
+	Target geo.Point // current believed user position (for direction)
+	// Desired is the distance to hold (the paper uses 1.4 m).
+	Desired float64
+	// Gain is the proportional step factor (default 1.0).
+	Gain float64
+	// DGain adds derivative action to counter tracking lag against a
+	// moving user (default 0.6).
+	DGain float64
+	// MaxStep clamps movement per control tick in meters (default 0.3 —
+	// a gentle quadrotor step at 12 Hz).
+	MaxStep float64
+	// History is the median/outlier window (default 3 measurements —
+	// enough to reject single-sweep ghosts without adding much lag).
+	History int
+
+	recent  []float64
+	prevErr float64
+	primed  bool
+}
+
+// NewController builds a controller holding the desired distance.
+func NewController(desired float64) *Controller {
+	return &Controller{Desired: desired, Gain: 1.0, DGain: 0.6, MaxStep: 0.3, History: 3}
+}
+
+// filteredRange folds a new measurement into the history window and
+// returns the outlier-rejected estimate: the median of the window.
+func (c *Controller) filteredRange(meas float64) float64 {
+	c.recent = append(c.recent, meas)
+	if len(c.recent) > c.History {
+		c.recent = c.recent[1:]
+	}
+	cp := append([]float64(nil), c.recent...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	if n := len(cp); n%2 == 1 {
+		return cp[n/2]
+	} else {
+		return (cp[n/2-1] + cp[n/2]) / 2
+	}
+}
+
+// Step computes the drone's next position given its current position, a
+// fresh range measurement, and the (compass-derived, §12.4) unit
+// direction from drone to user. If the user is closer than desired the
+// drone backs away; farther, it approaches.
+func (c *Controller) Step(pos geo.Point, meas float64, toUser geo.Point) geo.Point {
+	d := c.filteredRange(meas)
+	err := d - c.Desired // positive → too far → move toward the user
+	derr := 0.0
+	if c.primed {
+		derr = err - c.prevErr
+	}
+	c.prevErr, c.primed = err, true
+	step := c.Gain*err + c.DGain*derr
+	if step > c.MaxStep {
+		step = c.MaxStep
+	} else if step < -c.MaxStep {
+		step = -c.MaxStep
+	}
+	norm := toUser.Norm()
+	if norm < 1e-9 {
+		return pos
+	}
+	dir := toUser.Scale(1 / norm)
+	return pos.Add(dir.Scale(step))
+}
+
+// Walk is a user trajectory generator: a random-waypoint walk inside a
+// rectangular room (the 6 m × 5 m VICON room of §12.4).
+type Walk struct {
+	RoomW, RoomH float64 // room size in meters
+	Speed        float64 // walking speed m/s (default 0.8)
+	pos          geo.Point
+	waypoint     geo.Point
+	rng          *rand.Rand
+}
+
+// NewWalk starts a walk at the room center.
+func NewWalk(rng *rand.Rand, w, h float64) *Walk {
+	wk := &Walk{RoomW: w, RoomH: h, Speed: 0.8, rng: rng}
+	wk.pos = geo.Point{X: w / 2, Y: h / 2}
+	wk.pickWaypoint()
+	return wk
+}
+
+func (w *Walk) pickWaypoint() {
+	w.waypoint = geo.Point{
+		X: 0.5 + w.rng.Float64()*(w.RoomW-1),
+		Y: 0.5 + w.rng.Float64()*(w.RoomH-1),
+	}
+}
+
+// Pos returns the user's current position.
+func (w *Walk) Pos() geo.Point { return w.pos }
+
+// Advance moves the user dt seconds along the walk.
+func (w *Walk) Advance(dt float64) geo.Point {
+	remaining := w.Speed * dt
+	for remaining > 0 {
+		to := w.waypoint.Sub(w.pos)
+		d := to.Norm()
+		if d <= remaining {
+			w.pos = w.waypoint
+			remaining -= d
+			w.pickWaypoint()
+			continue
+		}
+		w.pos = w.pos.Add(to.Scale(remaining / d))
+		remaining = 0
+	}
+	return w.pos
+}
+
+// TrackResult is the outcome of one following run.
+type TrackResult struct {
+	// Deviations are |distance − desired| per control tick, in meters
+	// (the Fig. 10a sample).
+	Deviations []float64
+	// DronePath and UserPath are the trajectories (Fig. 10b).
+	DronePath []geo.Point
+	UserPath  []geo.Point
+}
+
+// TrackConfig tunes a following run.
+type TrackConfig struct {
+	Desired  float64 // distance to hold (default 1.4 m)
+	Duration float64 // seconds of flight (default 60)
+	RateHz   float64 // control rate (default 12, the sweep rate of §4)
+	RoomW    float64 // default 6
+	RoomH    float64 // default 5
+	// Settle discards the first seconds while the controller converges
+	// (default 3 s).
+	Settle float64
+}
+
+func (c TrackConfig) withDefaults() TrackConfig {
+	if c.Desired == 0 {
+		c.Desired = 1.4
+	}
+	if c.Duration == 0 {
+		c.Duration = 60
+	}
+	if c.RateHz == 0 {
+		c.RateHz = 12
+	}
+	if c.RoomW == 0 {
+		c.RoomW = 6
+	}
+	if c.RoomH == 0 {
+		c.RoomH = 5
+	}
+	if c.Settle == 0 {
+		c.Settle = 3
+	}
+	return c
+}
+
+// Track runs the full §12.4 experiment: the user walks, the drone follows
+// with the feedback controller fed by sensor measurements.
+func Track(rng *rand.Rand, sensor RangeSensor, cfg TrackConfig) *TrackResult {
+	cfg = cfg.withDefaults()
+	walk := NewWalk(rng, cfg.RoomW, cfg.RoomH)
+	ctl := NewController(cfg.Desired)
+
+	// Drone starts at the desired offset from the user.
+	user := walk.Pos()
+	drone := user.Add(geo.Point{X: cfg.Desired, Y: 0})
+
+	dt := 1 / cfg.RateHz
+	steps := int(cfg.Duration * cfg.RateHz)
+	res := &TrackResult{}
+	for i := 0; i < steps; i++ {
+		user = walk.Advance(dt)
+		meas := sensor.Range(rng, drone, user)
+		// Direction to the user via the device compasses (§12.4); add a
+		// little bearing noise so heading is not oracle-perfect.
+		bearing := user.Sub(drone)
+		ang := math.Atan2(bearing.Y, bearing.X) + rng.NormFloat64()*0.05
+		toUser := geo.Point{X: math.Cos(ang), Y: math.Sin(ang)}
+		drone = ctl.Step(drone, meas, toUser)
+
+		if float64(i)*dt >= cfg.Settle {
+			res.Deviations = append(res.Deviations, math.Abs(drone.Dist(user)-cfg.Desired))
+		}
+		res.DronePath = append(res.DronePath, drone)
+		res.UserPath = append(res.UserPath, user)
+	}
+	return res
+}

@@ -1,0 +1,66 @@
+package drone
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chronos/internal/geo"
+	"chronos/internal/stats"
+)
+
+func TestPipelineSensorAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s, err := NewPipelineSensor(rng, Room(6, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := geo.Point{X: 1, Y: 2}
+	for _, target := range []geo.Point{{X: 2.4, Y: 2}, {X: 4, Y: 4}, {X: 5, Y: 1}} {
+		d := s.Range(rng, pos, target)
+		truth := pos.Dist(target)
+		if e := math.Abs(d - truth); e > 0.3 {
+			t.Errorf("target %v: range %.3f, truth %.3f (err %.0f cm)", target, d, truth, e*100)
+		}
+	}
+}
+
+func TestPipelineSensorNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s, err := NewPipelineSensor(rng, Room(6, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nearly coincident devices must not produce a negative range.
+	if d := s.Range(rng, geo.Point{X: 2, Y: 2}, geo.Point{X: 2.15, Y: 2}); d < 0 {
+		t.Errorf("negative range %v", d)
+	}
+}
+
+func TestTrackWithPipelineSensor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline flight is slow")
+	}
+	rng := rand.New(rand.NewSource(3))
+	s, err := NewPipelineSensor(rng, Room(6, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A short flight at a reduced control rate keeps the full pipeline
+	// tractable in tests; the controller still has to hold distance.
+	res := Track(rng, s, TrackConfig{Duration: 8, RateHz: 4, Settle: 2})
+	if len(res.Deviations) == 0 {
+		t.Fatal("no deviations recorded")
+	}
+	med := stats.Median(res.Deviations)
+	if med > 0.5 {
+		t.Errorf("median deviation %.0f cm with full pipeline", med*100)
+	}
+}
+
+func TestRoomGeometry(t *testing.T) {
+	env := Room(6, 5)
+	if len(env.Walls) != 4 {
+		t.Fatalf("walls = %d", len(env.Walls))
+	}
+}

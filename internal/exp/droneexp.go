@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chronos/internal/drone"
+	"chronos/internal/stats"
+)
+
+// Fig10a reproduces the drone distance-keeping CDF: deviation from the
+// desired 1.4 m while following a walking user (paper: median ≈4.2 cm).
+func Fig10a(o Options) *Result {
+	o = o.withDefaults(10)
+	rng := rand.New(rand.NewSource(o.Seed))
+
+	var all []float64
+	for run := 0; run < o.Trials; run++ {
+		res := drone.Track(rng, drone.StatSensor{}, drone.TrackConfig{Duration: 40})
+		all = append(all, res.Deviations...)
+	}
+	cm := make([]float64, len(all))
+	for i, d := range all {
+		cm[i] = d * 100
+	}
+	res := &Result{
+		ID:     "fig10a",
+		Title:  "Drone deviation from the desired 1.4 m distance",
+		Header: []string{"percentile", "deviation (cm)"},
+	}
+	for _, p := range []float64{25, 50, 75, 90, 95} {
+		res.Rows = append(res.Rows, []string{fmtF(p, 0), fmtF(stats.Percentile(cm, p), 1)})
+	}
+	res.Metrics = map[string]float64{
+		"median_cm": stats.Median(cm),
+		"p95_cm":    stats.Percentile(cm, 95),
+		"rmse_cm":   stats.RMSE(cm),
+	}
+	return res
+}
+
+// Fig10b reproduces the trajectory trace: the drone's path alongside the
+// user's, holding the pairwise distance.
+func Fig10b(o Options) *Result {
+	o = o.withDefaults(1)
+	rng := rand.New(rand.NewSource(o.Seed))
+	tr := drone.Track(rng, drone.StatSensor{}, drone.TrackConfig{Duration: 30})
+
+	res := &Result{
+		ID:     "fig10b",
+		Title:  "Drone and user trajectories (sampled)",
+		Header: []string{"t (s)", "user (x,y)", "drone (x,y)", "distance (m)"},
+	}
+	rate := 12.0
+	for i := 0; i < len(tr.UserPath); i += int(rate * 2) { // every 2 s
+		u, d := tr.UserPath[i], tr.DronePath[i]
+		res.Rows = append(res.Rows, []string{
+			fmtF(float64(i)/rate, 0), u.String(), d.String(), fmtF(u.Dist(d), 2),
+		})
+	}
+	// Steady-state distance statistics over the trajectory.
+	var dist []float64
+	for i := range tr.UserPath {
+		if float64(i)/rate >= 3 {
+			dist = append(dist, tr.UserPath[i].Dist(tr.DronePath[i]))
+		}
+	}
+	res.Metrics = map[string]float64{
+		"mean_distance_m":   stats.Mean(dist),
+		"median_distance_m": stats.Median(dist),
+		"target_m":          1.4,
+	}
+	res.Rows = append(res.Rows, []string{"steady mean", "", "", fmtF(stats.Mean(dist), 2)})
+	return res
+}
+
+// fig10Check is exposed for tests: the steady-state mean pairwise
+// distance must sit near the 1.4 m target.
+func fig10Check(o Options) (mean float64) {
+	r := Fig10b(o)
+	return r.Metrics["mean_distance_m"]
+}
+
+var _ = fmt.Sprintf // keep fmt referenced even if rows change

@@ -1,0 +1,148 @@
+// Package exp is the evaluation harness: one function per figure of the
+// paper's §12, each regenerating the corresponding table or series from
+// the simulated testbed. The cmd/chronos-bench binary, the top-level Go
+// benchmarks, and EXPERIMENTS.md all drive these functions, so the
+// numbers reported everywhere come from a single implementation.
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"chronos/internal/csi"
+	"chronos/internal/sim"
+	"chronos/internal/tof"
+	"chronos/internal/wifi"
+)
+
+// Options scales a campaign.
+type Options struct {
+	Seed   int64
+	Trials int // per condition; 0 = experiment default
+}
+
+func (o Options) withDefaults(defTrials int) Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Trials == 0 {
+		o.Trials = defTrials
+	}
+	return o
+}
+
+// Result is a regenerated table or series.
+type Result struct {
+	ID      string
+	Title   string
+	Header  []string
+	Rows    [][]string
+	Metrics map[string]float64 // headline numbers, keyed for EXPERIMENTS.md
+}
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// tofTrial is one calibrated ToF measurement in an office.
+type tofTrial struct {
+	ErrNs    float64 // |estimate − truth| in ns
+	DistM    float64 // ground-truth distance
+	Peaks    int     // dominant profile peaks
+	DelaysNs []float64
+	NLOS     bool
+}
+
+// runToFCampaign measures calibrated ToF error over `trials` random
+// placements of each visibility class. The estimator (and its cached NDFT
+// matrices) is shared across trials; calibration offsets are applied per
+// device pair, as the paper's one-time calibration does.
+func runToFCampaign(rng *rand.Rand, office *sim.Office, cfg tof.Config, trials int, nlos bool, maxDist float64) []tofTrial {
+	bands := pickBands(cfg)
+	est := tof.NewEstimator(cfg)
+	out := make([]tofTrial, 0, trials)
+	for t := 0; t < trials; t++ {
+		p := office.RandomPlacement(rng, maxDist, nlos)
+		link := office.NewLink(rng, p, sim.LinkConfig{Quirk: cfg.Quirk24})
+
+		// One-time calibration of this device pair at a known reference
+		// placement (LOS, mid-range).
+		calP := office.RandomPlacement(rng, 8, false)
+		link.Channel = office.Channel(calP, 5.5e9)
+		calSweep := link.Sweep(rng, bands, 3, 2.4e-3)
+		offset, err := tof.Calibrate(est, bands, calSweep, calP.TrueDistance())
+		if err != nil {
+			continue
+		}
+
+		link.Channel = office.Channel(p, 5.5e9)
+		sweep := link.Sweep(rng, bands, 3, 2.4e-3)
+		r, err := est.Estimate(bands, sweep)
+		if err != nil {
+			continue
+		}
+		e := (r.ToF - offset - p.TrueToF()) * 1e9
+		if e < 0 {
+			e = -e
+		}
+		trial := tofTrial{ErrNs: e, DistM: p.TrueDistance(), Peaks: r.Peaks, NLOS: nlos}
+		for _, pr := range sweep {
+			for _, pair := range pr {
+				trial.DelaysNs = append(trial.DelaysNs, pair.Forward.DetectionDelay*1e9)
+			}
+		}
+		out = append(out, trial)
+	}
+	return out
+}
+
+// pickBands returns the band list matching the estimator mode.
+func pickBands(cfg tof.Config) []wifi.Band {
+	switch cfg.Mode {
+	case tof.Bands5GHzOnly:
+		return wifi.Bands5GHz()
+	case tof.Bands24Only:
+		return wifi.Bands24GHz()
+	default:
+		return wifi.USBands()
+	}
+}
+
+// defaultToFConfig is the evaluation configuration used across figures:
+// quirked radios (faithful to the Intel 5300), 5 GHz profile inversion
+// fused with the 2.4 GHz group.
+func defaultToFConfig() tof.Config {
+	return tof.Config{Mode: tof.BandsFused, Quirk24: true, MaxIter: 1200}
+}
+
+// sweepOnce is shared by examples and benches needing raw sweeps.
+func sweepOnce(rng *rand.Rand, link *csi.Link, bands []wifi.Band) [][]csi.Pair {
+	return link.Sweep(rng, bands, 3, 2.4e-3)
+}
+
+func fmtF(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }

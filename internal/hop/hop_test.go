@@ -1,0 +1,125 @@
+package hop
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"chronos/internal/stats"
+	"chronos/internal/wifi"
+)
+
+func TestSweepVisitsEveryBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bands := wifi.USBands()
+	res := Sweep(rng, bands, Config{})
+	if len(res.Visits) < len(bands) {
+		t.Fatalf("visited %d bands, want ≥ %d", len(res.Visits), len(bands))
+	}
+	// Every band must appear among the visits.
+	seen := map[int]bool{}
+	for _, v := range res.Visits {
+		seen[v.Band.Channel] = true
+	}
+	for _, b := range bands {
+		if !seen[b.Channel] {
+			t.Errorf("band %v never visited", b)
+		}
+	}
+}
+
+func TestSweepDurationNearPaper(t *testing.T) {
+	// Fig. 9a: median hop time over 35 bands ≈ 84 ms.
+	rng := rand.New(rand.NewSource(2))
+	durs := SweepDurations(rng, wifi.USBands(), Config{}, 50)
+	med := stats.Median(durs)
+	if med < 0.070 || med > 0.100 {
+		t.Errorf("median sweep = %.1f ms, want ≈84 ms", med*1000)
+	}
+}
+
+func TestSweepMonotoneVisits(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	res := Sweep(rng, wifi.USBands(), Config{})
+	for i := 1; i < len(res.Visits); i++ {
+		if res.Visits[i].Enter < res.Visits[i-1].Leave {
+			t.Fatalf("visit %d enters before previous leaves", i)
+		}
+	}
+	for _, v := range res.Visits {
+		if v.Leave < v.Enter {
+			t.Fatalf("visit leaves before entering: %+v", v)
+		}
+	}
+}
+
+func TestSweepLossyLinkRetries(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	clean := Sweep(rng, wifi.USBands(), Config{LossProb: 1e-9})
+	lossy := Sweep(rng, wifi.USBands(), Config{LossProb: 0.3})
+	if lossy.Announces <= clean.Announces {
+		t.Errorf("lossy link sent %d announces vs clean %d — retries missing",
+			lossy.Announces, clean.Announces)
+	}
+	if lossy.Duration <= clean.Duration {
+		t.Errorf("lossy sweep (%v) not slower than clean (%v)", lossy.Duration, clean.Duration)
+	}
+}
+
+func TestSweepFailSafeOnTerribleLink(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// 85% loss: some bands should need the fail-safe, yet the sweep must
+	// still terminate and cover all bands.
+	res := Sweep(rng, wifi.USBands()[:10], Config{LossProb: 0.85, MaxRetries: 3})
+	if res.FailSafes == 0 {
+		t.Error("no fail-safes triggered at 85% loss")
+	}
+	if len(res.Visits) < 10 {
+		t.Errorf("sweep did not complete: %d visits", len(res.Visits))
+	}
+}
+
+func TestSweepDeterministicPerSeed(t *testing.T) {
+	a := Sweep(rand.New(rand.NewSource(7)), wifi.USBands(), Config{})
+	b := Sweep(rand.New(rand.NewSource(7)), wifi.USBands(), Config{})
+	if a.Duration != b.Duration || a.Announces != b.Announces {
+		t.Error("same seed produced different sweeps")
+	}
+}
+
+func TestSweepDurationsLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	durs := SweepDurations(rng, wifi.USBands()[:5], Config{}, 7)
+	if len(durs) != 7 {
+		t.Fatalf("len = %d", len(durs))
+	}
+	for _, d := range durs {
+		if d <= 0 {
+			t.Error("non-positive duration")
+		}
+	}
+}
+
+func TestSweepScalesWithBandCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	short := stats.Median(SweepDurations(rng, wifi.USBands()[:10], Config{}, 20))
+	full := stats.Median(SweepDurations(rng, wifi.USBands(), Config{}, 20))
+	if full <= short {
+		t.Errorf("35-band sweep (%v) not longer than 10-band (%v)", full, short)
+	}
+	// Roughly proportional: 35/10 = 3.5×.
+	if ratio := full / short; ratio < 2.5 || ratio > 4.5 {
+		t.Errorf("scaling ratio = %.2f, want ≈3.5", ratio)
+	}
+}
+
+func TestSweepDwellRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	cfg := Config{Dwell: 5 * time.Millisecond}
+	res := Sweep(rng, wifi.USBands()[:3], cfg)
+	for i, v := range res.Visits {
+		if stay := v.Leave - v.Enter; stay < 5*time.Millisecond {
+			t.Errorf("visit %d stayed only %v", i, stay)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// circleResidual implements the trilateration residual: distances from a
+// 2D point to fixed anchors.
+type circleResidual struct {
+	anchors [][2]float64
+	dists   []float64
+}
+
+func (c *circleResidual) Dims() (int, int) { return len(c.anchors), 2 }
+
+func (c *circleResidual) Eval(x, r, jac []float64) {
+	for i, a := range c.anchors {
+		dx, dy := x[0]-a[0], x[1]-a[1]
+		d := math.Hypot(dx, dy)
+		r[i] = d - c.dists[i]
+		if d < 1e-12 {
+			jac[i*2], jac[i*2+1] = 0, 0
+			continue
+		}
+		jac[i*2] = dx / d
+		jac[i*2+1] = dy / d
+	}
+}
+
+func TestGaussNewtonTrilateration(t *testing.T) {
+	truth := [2]float64{3.2, -1.7}
+	anchors := [][2]float64{{0, 0}, {10, 0}, {0, 10}}
+	res := &circleResidual{anchors: anchors}
+	for _, a := range anchors {
+		res.dists = append(res.dists, math.Hypot(truth[0]-a[0], truth[1]-a[1]))
+	}
+	x, norm, err := GaussNewton(res, []float64{5, 5}, GNOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-truth[0]) > 1e-6 || math.Abs(x[1]-truth[1]) > 1e-6 {
+		t.Errorf("solution = %v, want %v", x, truth)
+	}
+	if norm > 1e-6 {
+		t.Errorf("residual norm = %v", norm)
+	}
+}
+
+func TestGaussNewtonNoisyOverdetermined(t *testing.T) {
+	truth := [2]float64{4, 4}
+	anchors := [][2]float64{{0, 0}, {10, 0}, {0, 10}, {10, 10}}
+	res := &circleResidual{anchors: anchors}
+	noise := []float64{0.05, -0.03, 0.02, -0.04}
+	for i, a := range anchors {
+		res.dists = append(res.dists, math.Hypot(truth[0]-a[0], truth[1]-a[1])+noise[i])
+	}
+	x, _, err := GaussNewton(res, []float64{1, 1}, GNOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Hypot(x[0]-truth[0], x[1]-truth[1]) > 0.1 {
+		t.Errorf("solution = %v too far from %v", x, truth)
+	}
+}
+
+func TestGaussNewtonStepLimit(t *testing.T) {
+	truth := [2]float64{0.5, 0.5}
+	anchors := [][2]float64{{0, 0}, {1, 0}, {0, 1}}
+	res := &circleResidual{anchors: anchors}
+	for _, a := range anchors {
+		res.dists = append(res.dists, math.Hypot(truth[0]-a[0], truth[1]-a[1]))
+	}
+	// A tiny step limit forces many iterations from a distant start; the
+	// limit must cap convergence speed without breaking correctness.
+	x, _, err := GaussNewton(res, []float64{20, 20}, GNOptions{MaxIter: 500, StepLimit: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Hypot(x[0]-truth[0], x[1]-truth[1]) > 1e-6 {
+		t.Errorf("solution = %v, want %v", x, truth)
+	}
+}
+
+func TestGaussNewtonMaxIter(t *testing.T) {
+	truth := [2]float64{3, 3}
+	anchors := [][2]float64{{0, 0}, {10, 0}, {0, 10}}
+	res := &circleResidual{anchors: anchors}
+	for _, a := range anchors {
+		res.dists = append(res.dists, math.Hypot(truth[0]-a[0], truth[1]-a[1]))
+	}
+	_, _, err := GaussNewton(res, []float64{50, 50}, GNOptions{MaxIter: 1, StepLimit: 0.01})
+	if !errors.Is(err, ErrNoConverge) {
+		t.Errorf("err = %v, want ErrNoConverge", err)
+	}
+}
+
+func TestGaussNewtonBadStart(t *testing.T) {
+	res := &circleResidual{anchors: [][2]float64{{0, 0}}, dists: []float64{1}}
+	if _, _, err := GaussNewton(res, []float64{1}, GNOptions{}); err == nil {
+		t.Error("expected dimension error")
+	}
+}

@@ -1,0 +1,213 @@
+// Package loc is the §8 device-to-device localization engine: it runs the
+// time-of-flight estimator once per receive antenna, converts the
+// resulting ToFs to distances, rejects geometrically inconsistent
+// estimates, and solves for the transmitter position relative to the
+// receiver's antenna array by least squares.
+package loc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"chronos/internal/csi"
+	"chronos/internal/geo"
+	"chronos/internal/tof"
+	"chronos/internal/wifi"
+)
+
+// Localizer estimates a transmitter's position relative to a rigid
+// receive antenna array.
+type Localizer struct {
+	Array geo.Array
+	// Estimators holds one calibrated ToF estimator per antenna. They may
+	// share a Config but each carries its own calibration offset.
+	Estimators []*tof.Estimator
+	// OutlierSlack is the extra tolerance (meters) in the geometric
+	// consistency check (default 0.45 m ≈ 1.5 ns of ToF error).
+	OutlierSlack float64
+}
+
+// NewLocalizer builds a localizer for the given array, instantiating one
+// estimator per antenna from cfg.
+func NewLocalizer(array geo.Array, cfg tof.Config) *Localizer {
+	ests := make([]*tof.Estimator, len(array.Antennas))
+	for i := range ests {
+		ests[i] = tof.NewEstimator(cfg)
+	}
+	return &Localizer{Array: array, Estimators: ests, OutlierSlack: 0.45}
+}
+
+// ErrAntennaCount reports a sweep count that does not match the array.
+var ErrAntennaCount = errors.New("loc: sweep count does not match antenna count")
+
+// Fix is one localization result.
+type Fix struct {
+	Position geo.Point // least-squares position in the array's frame
+	// Candidates holds both solutions when only two usable distances
+	// remained (mirror ambiguity, §8); otherwise nil.
+	Candidates []geo.Point
+	// Distances are the per-antenna distance estimates that survived
+	// outlier rejection, index-aligned with KeptAntennas.
+	Distances    []float64
+	KeptAntennas []int
+	DroppedCount int
+}
+
+// Locate runs the full §8 pipeline. sweeps[i] is the CSI band sweep
+// captured at antenna i (against the same transmitter), aligned with
+// bands.
+func (l *Localizer) Locate(bands []wifi.Band, sweeps [][][]csi.Pair) (*Fix, error) {
+	if len(sweeps) != len(l.Array.Antennas) {
+		return nil, fmt.Errorf("%w: %d sweeps, %d antennas", ErrAntennaCount, len(sweeps), len(l.Array.Antennas))
+	}
+	circles := make([]geo.Circle, 0, len(sweeps))
+	idx := make([]int, 0, len(sweeps))
+	for i, sweep := range sweeps {
+		est, err := l.Estimators[i].Estimate(bands, sweep)
+		if err != nil {
+			continue // a failed antenna just contributes no circle
+		}
+		circles = append(circles, geo.Circle{Center: l.Array.Antennas[i], Radius: est.Distance})
+		idx = append(idx, i)
+	}
+	if len(circles) < 2 {
+		return nil, errors.New("loc: fewer than two usable antenna distances")
+	}
+
+	kept := geo.RejectOutliers(circles, l.OutlierSlack)
+	keptCircles := make([]geo.Circle, len(kept))
+	keptIdx := make([]int, len(kept))
+	for i, k := range kept {
+		keptCircles[i] = circles[k]
+		keptIdx[i] = idx[k]
+	}
+
+	pos, amb, err := geo.Trilaterate(keptCircles)
+	if err != nil {
+		return nil, err
+	}
+	fix := &Fix{
+		Position:     pos,
+		Candidates:   amb,
+		KeptAntennas: keptIdx,
+		DroppedCount: len(circles) - len(keptCircles),
+	}
+	for _, c := range keptCircles {
+		fix.Distances = append(fix.Distances, c.Radius)
+	}
+	return fix, nil
+}
+
+// LocateArray runs §8 localization over a shared-packet array sweep
+// (csi.ArrayLink): sweeps[i] holds antenna i's CSI pairs, each the
+// product of antenna i's forward measurement (one packet shared by all
+// chains) with the round-robin reverse measurement over antenna i's own
+// channel. Each antenna therefore yields a clean per-antenna distance.
+// Because all chains share each forward packet's detection delay and
+// CFO, antenna-differential errors stay well below the absolute ones —
+// the property that makes 30 cm baselines usable at room scale.
+func (l *Localizer) LocateArray(bands []wifi.Band, sweeps [][][]csi.Pair) (*Fix, error) {
+	if len(sweeps) != len(l.Array.Antennas) {
+		return nil, fmt.Errorf("%w: %d sweeps, %d antennas", ErrAntennaCount, len(sweeps), len(l.Array.Antennas))
+	}
+	circles := make([]geo.Circle, 0, len(sweeps))
+	idx := make([]int, 0, len(sweeps))
+	for i, sweep := range sweeps {
+		est, err := l.Estimators[i].Estimate(bands, sweep)
+		if err != nil {
+			continue
+		}
+		circles = append(circles, geo.Circle{Center: l.Array.Antennas[i], Radius: est.Distance})
+		idx = append(idx, i)
+	}
+	if len(circles) < 2 {
+		return nil, errors.New("loc: fewer than two usable antenna distances")
+	}
+	return l.solve(circles, idx)
+}
+
+// solve applies outlier rejection and least squares to distance circles.
+func (l *Localizer) solve(circles []geo.Circle, idx []int) (*Fix, error) {
+	kept := geo.RejectOutliers(circles, l.OutlierSlack)
+	keptCircles := make([]geo.Circle, len(kept))
+	keptIdx := make([]int, len(kept))
+	for i, k := range kept {
+		keptCircles[i] = circles[k]
+		keptIdx[i] = idx[k]
+	}
+	pos, amb, err := geo.Trilaterate(keptCircles)
+	if err != nil {
+		return nil, err
+	}
+	if len(amb) == 2 && len(circles) > len(keptCircles) {
+		// Two-circle mirror ambiguity after dropping an outlier: the
+		// dropped circle is noisy but still carries enough signal to
+		// pick a side. Choose the candidate with the smaller total
+		// residual over every original circle.
+		score := func(p geo.Point) float64 {
+			var s float64
+			for _, c := range circles {
+				r := p.Dist(c.Center) - c.Radius
+				s += r * r
+			}
+			return s
+		}
+		if score(amb[1]) < score(amb[0]) {
+			pos = amb[1]
+		} else {
+			pos = amb[0]
+		}
+	}
+	fix := &Fix{
+		Position:     pos,
+		Candidates:   amb,
+		KeptAntennas: keptIdx,
+		DroppedCount: len(circles) - len(keptCircles),
+	}
+	for _, c := range keptCircles {
+		fix.Distances = append(fix.Distances, c.Radius)
+	}
+	return fix, nil
+}
+
+// CalibrateArray calibrates the per-antenna estimators of a shared-packet
+// array link at a known geometry: trueDist[i] is the laser-measured
+// distance from the transmitter to antenna i.
+func (l *Localizer) CalibrateArray(rng *rand.Rand, bands []wifi.Band, link *csi.ArrayLink, trueDist []float64, pairsPerBand int) error {
+	if len(trueDist) != len(l.Estimators) || len(link.Channels) != len(l.Estimators) {
+		return errors.New("loc: calibration inputs do not match antenna count")
+	}
+	sweeps := link.Sweep(rng, bands, pairsPerBand, 2.4e-3)
+	for i := range l.Estimators {
+		off, err := tof.Calibrate(l.Estimators[i], bands, sweeps[i], trueDist[i])
+		if err != nil {
+			return fmt.Errorf("loc: calibrating antenna %d: %w", i, err)
+		}
+		cfg := l.Estimators[i].Config()
+		cfg.CalibrationOffset = off
+		*l.Estimators[i] = *tof.NewEstimator(cfg)
+	}
+	return nil
+}
+
+// CalibrateAll calibrates every antenna's estimator against a known
+// transmitter position, emulating the paper's one-time setup. links[i] is
+// the measurement link of antenna i; trueDist[i] the laser-measured
+// distance from the transmitter to antenna i.
+func (l *Localizer) CalibrateAll(rng *rand.Rand, bands []wifi.Band, links []*csi.Link, trueDist []float64, pairsPerBand int) error {
+	if len(links) != len(l.Estimators) || len(trueDist) != len(l.Estimators) {
+		return errors.New("loc: calibration inputs do not match antenna count")
+	}
+	for i, link := range links {
+		sweep := link.Sweep(rng, bands, pairsPerBand, 2.4e-3)
+		off, err := tof.Calibrate(l.Estimators[i], bands, sweep, trueDist[i])
+		if err != nil {
+			return fmt.Errorf("loc: calibrating antenna %d: %w", i, err)
+		}
+		cfg := l.Estimators[i].Config()
+		cfg.CalibrationOffset = off
+		*l.Estimators[i] = *tof.NewEstimator(cfg)
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+// Package mac provides the deterministic virtual-time substrate for every
+// protocol-level experiment: a discrete-event simulator, a lossy wireless
+// link model, and message scheduling between simulated stations. Nothing
+// here touches wall-clock time, so protocol runs are fast and exactly
+// reproducible from a seed.
+package mac
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-breaker for events at the same instant (FIFO)
+	fn  func()
+	// canceled events stay in the heap but are skipped on pop.
+	canceled bool
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is a single-threaded discrete-event simulator.
+type Sim struct {
+	now   time.Duration
+	queue eventQueue
+	seq   uint64
+}
+
+// NewSim returns a simulator at time zero.
+func NewSim() *Sim { return &Sim{} }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Timer is a handle that can cancel a scheduled event.
+type Timer struct{ ev *event }
+
+// Cancel prevents the timer's callback from running. Safe to call more
+// than once or after the callback fired.
+func (t *Timer) Cancel() {
+	if t != nil && t.ev != nil {
+		t.ev.canceled = true
+	}
+}
+
+// Schedule runs fn after delay of virtual time and returns a cancellable
+// handle. A negative delay is treated as zero (run at the current
+// instant, after already-queued events at this instant).
+func (s *Sim) Schedule(delay time.Duration, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	ev := &event{at: s.now + delay, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// Run processes events until the queue empties or virtual time would pass
+// until. It returns the number of events executed.
+func (s *Sim) Run(until time.Duration) int {
+	n := 0
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&s.queue)
+		if next.canceled {
+			continue
+		}
+		s.now = next.at
+		next.fn()
+		n++
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return n
+}
+
+// RunAll processes every pending event (including ones scheduled while
+// running) and returns the count. Use only with protocols that terminate.
+func (s *Sim) RunAll() int {
+	n := 0
+	for len(s.queue) > 0 {
+		next := heap.Pop(&s.queue).(*event)
+		if next.canceled {
+			continue
+		}
+		s.now = next.at
+		next.fn()
+		n++
+	}
+	return n
+}
+
+// Pending returns the number of queued (possibly canceled) events.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// Link is a half-duplex lossy link between two stations. Delivery takes
+// Latency plus the frame's airtime; each frame independently drops with
+// probability LossProb.
+type Link struct {
+	Sim      *Sim
+	Latency  time.Duration // propagation + processing latency
+	Rate     float64       // bits per second (for airtime); 0 = instantaneous
+	LossProb float64
+	Rng      *rand.Rand
+}
+
+// Frame is an opaque message with a size used to compute airtime.
+type Frame struct {
+	Kind    string
+	Payload int // bytes, for airtime
+	Data    any
+}
+
+// Send delivers frame to the receiver callback after the link delay, or
+// drops it. It reports whether the frame was put on the air (always true;
+// loss happens silently at the receiver, as in a real radio).
+func (l *Link) Send(f Frame, deliver func(Frame)) {
+	airtime := time.Duration(0)
+	if l.Rate > 0 {
+		airtime = time.Duration(float64(f.Payload*8) / l.Rate * float64(time.Second))
+	}
+	total := l.Latency + airtime
+	if l.Rng != nil && l.Rng.Float64() < l.LossProb {
+		return // lost in flight: receiver never sees it
+	}
+	l.Sim.Schedule(total, func() { deliver(f) })
+}

@@ -1,0 +1,148 @@
+package mac
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := NewSim()
+	var order []int
+	s.Schedule(3*time.Millisecond, func() { order = append(order, 3) })
+	s.Schedule(1*time.Millisecond, func() { order = append(order, 1) })
+	s.Schedule(2*time.Millisecond, func() { order = append(order, 2) })
+	s.RunAll()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if s.Now() != 3*time.Millisecond {
+		t.Errorf("now = %v", s.Now())
+	}
+}
+
+func TestScheduleSameInstantFIFO(t *testing.T) {
+	s := NewSim()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(time.Millisecond, func() { order = append(order, i) })
+	}
+	s.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := NewSim()
+	var hits []time.Duration
+	s.Schedule(time.Millisecond, func() {
+		hits = append(hits, s.Now())
+		s.Schedule(time.Millisecond, func() {
+			hits = append(hits, s.Now())
+		})
+	})
+	s.RunAll()
+	if len(hits) != 2 || hits[0] != time.Millisecond || hits[1] != 2*time.Millisecond {
+		t.Errorf("hits = %v", hits)
+	}
+}
+
+func TestRunUntilStopsEarly(t *testing.T) {
+	s := NewSim()
+	ran := false
+	s.Schedule(10*time.Millisecond, func() { ran = true })
+	n := s.Run(5 * time.Millisecond)
+	if n != 0 || ran {
+		t.Error("event beyond horizon executed")
+	}
+	if s.Now() != 5*time.Millisecond {
+		t.Errorf("now = %v, want horizon", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d", s.Pending())
+	}
+	// Continuing runs it.
+	s.Run(20 * time.Millisecond)
+	if !ran {
+		t.Error("event never ran")
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	s := NewSim()
+	ran := false
+	tm := s.Schedule(time.Millisecond, func() { ran = true })
+	tm.Cancel()
+	tm.Cancel() // double-cancel is safe
+	s.RunAll()
+	if ran {
+		t.Error("canceled event executed")
+	}
+	var nilTimer *Timer
+	nilTimer.Cancel() // nil-safe
+}
+
+func TestNegativeDelay(t *testing.T) {
+	s := NewSim()
+	s.Run(5 * time.Millisecond) // advance clock
+	ran := time.Duration(-1)
+	s.Schedule(-time.Second, func() { ran = s.Now() })
+	s.RunAll()
+	if ran != 5*time.Millisecond {
+		t.Errorf("negative delay ran at %v", ran)
+	}
+}
+
+func TestLinkDeliveryTiming(t *testing.T) {
+	s := NewSim()
+	l := &Link{Sim: s, Latency: 10 * time.Microsecond, Rate: 1e6} // 1 Mbps
+	var at time.Duration
+	l.Send(Frame{Kind: "x", Payload: 125}, func(Frame) { at = s.Now() })
+	s.RunAll()
+	// 125 bytes at 1 Mbps = 1 ms airtime + 10 µs latency.
+	want := time.Millisecond + 10*time.Microsecond
+	if at != want {
+		t.Errorf("delivered at %v, want %v", at, want)
+	}
+}
+
+func TestLinkZeroRateInstantaneous(t *testing.T) {
+	s := NewSim()
+	l := &Link{Sim: s, Latency: time.Microsecond}
+	var at time.Duration
+	l.Send(Frame{Payload: 1500}, func(Frame) { at = s.Now() })
+	s.RunAll()
+	if at != time.Microsecond {
+		t.Errorf("delivered at %v", at)
+	}
+}
+
+func TestLinkLossRate(t *testing.T) {
+	s := NewSim()
+	l := &Link{Sim: s, Rng: rand.New(rand.NewSource(1)), LossProb: 0.3}
+	delivered := 0
+	n := 10000
+	for i := 0; i < n; i++ {
+		l.Send(Frame{}, func(Frame) { delivered++ })
+	}
+	s.RunAll()
+	got := float64(delivered) / float64(n)
+	if got < 0.66 || got > 0.74 {
+		t.Errorf("delivery rate = %v, want ≈0.7", got)
+	}
+}
+
+func TestLinkNoRngNeverDrops(t *testing.T) {
+	s := NewSim()
+	l := &Link{Sim: s, LossProb: 1.0} // no Rng → loss disabled
+	delivered := 0
+	l.Send(Frame{}, func(Frame) { delivered++ })
+	s.RunAll()
+	if delivered != 1 {
+		t.Error("frame dropped without an Rng")
+	}
+}

@@ -1,0 +1,101 @@
+package ndft
+
+import (
+	"math"
+	"testing"
+
+	"chronos/internal/dsp"
+	"chronos/internal/wifi"
+)
+
+func TestPlainISTARecoversSameFirstPeak(t *testing.T) {
+	// Algorithm 1 verbatim (no momentum, no continuation) and the
+	// accelerated variant share fixed points; on clean data both must
+	// find the same direct path.
+	freqs := wifi.Centers(wifi.USBands())
+	taus := TauGrid(30e-9, 0.2e-9)
+	m, err := NewMatrix(freqs, taus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := synthChannel(freqs, []float64{6.6, 12.2}, []float64{1, 0.5})
+
+	fast, err := m.Invert(h, InvertOptions{MaxIter: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := m.Invert(h, InvertOptions{MaxIter: 12000, PlainISTA: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, okF := fast.FirstPeakDelay(0.3)
+	pp, okP := plain.FirstPeakDelay(0.3)
+	if !okF || !okP {
+		t.Fatal("missing peaks")
+	}
+	if math.Abs(pf-pp) > 0.3e-9 {
+		t.Errorf("plain ISTA peak %v vs accelerated %v", pp, pf)
+	}
+}
+
+func TestPlainISTANeedsMoreIterations(t *testing.T) {
+	freqs := wifi.Centers(wifi.Bands5GHz())
+	taus := TauGrid(30e-9, 0.2e-9)
+	m, _ := NewMatrix(freqs, taus)
+	h := synthChannel(freqs, []float64{8}, []float64{1})
+
+	fast, _ := m.Invert(h, InvertOptions{MaxIter: 20000})
+	plain, _ := m.Invert(h, InvertOptions{MaxIter: 20000, PlainISTA: true})
+	if !fast.Converged {
+		t.Skip("accelerated variant did not converge in budget")
+	}
+	if plain.Converged && plain.Iterations < fast.Iterations {
+		t.Errorf("plain ISTA converged faster (%d) than accelerated (%d) — unexpected on this dictionary",
+			plain.Iterations, fast.Iterations)
+	}
+}
+
+func TestAlphaScaleSweepsSparsity(t *testing.T) {
+	freqs := wifi.Centers(wifi.USBands())
+	taus := TauGrid(30e-9, 0.2e-9)
+	m, _ := NewMatrix(freqs, taus)
+	h := synthChannel(freqs, []float64{5, 9, 13}, []float64{1, 0.7, 0.5})
+
+	nonzeros := func(scale float64) int {
+		res, err := m.Invert(h, InvertOptions{AlphaScale: scale, MaxIter: 3000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, v := range res.Profile {
+			if v != 0 {
+				n++
+			}
+		}
+		return n
+	}
+	if small, large := nonzeros(0.2), nonzeros(5); large >= small {
+		t.Errorf("AlphaScale 5 gave %d nonzeros vs %d at 0.2 — sparsity knob inverted", large, small)
+	}
+}
+
+func TestInvertEpsilonStopsEarly(t *testing.T) {
+	freqs := wifi.Centers(wifi.Bands5GHz())
+	taus := TauGrid(20e-9, 0.5e-9)
+	m, _ := NewMatrix(freqs, taus)
+	h := synthChannel(freqs, []float64{7}, []float64{1})
+	loose, err := m.Invert(h, InvertOptions{Epsilon: 1e-1 * dsp.Norm2(h), MaxIter: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := m.Invert(h, InvertOptions{Epsilon: 1e-9 * dsp.Norm2(h), MaxIter: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loose.Converged {
+		t.Error("loose epsilon did not converge")
+	}
+	if loose.Iterations >= tight.Iterations {
+		t.Errorf("loose epsilon took %d iterations vs tight %d", loose.Iterations, tight.Iterations)
+	}
+}

@@ -1,0 +1,282 @@
+package ndft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chronos/internal/dsp"
+	"chronos/internal/wifi"
+)
+
+// synthChannel builds the frequency-domain measurement for paths with
+// given delays (ns) and gains across freqs.
+func synthChannel(freqs []float64, delaysNs, gains []float64) dsp.Vec {
+	h := make(dsp.Vec, len(freqs))
+	for i, f := range freqs {
+		for k := range delaysNs {
+			ph := -2 * math.Pi * f * delaysNs[k] * 1e-9
+			h[i] += dsp.FromPolar(gains[k], math.Mod(ph, 2*math.Pi))
+		}
+	}
+	return h
+}
+
+func TestTauGrid(t *testing.T) {
+	g := TauGrid(10e-9, 1e-9)
+	if len(g) != 11 {
+		t.Fatalf("len = %d", len(g))
+	}
+	if g[0] != 0 || math.Abs(g[10]-10e-9) > 1e-18 {
+		t.Errorf("endpoints: %v %v", g[0], g[10])
+	}
+	if TauGrid(0, 1) != nil || TauGrid(1, 0) != nil {
+		t.Error("degenerate grids should be nil")
+	}
+}
+
+func TestNewMatrixErrors(t *testing.T) {
+	if _, err := NewMatrix(nil, []float64{1}); err == nil {
+		t.Error("empty freqs accepted")
+	}
+	if _, err := NewMatrix([]float64{1}, nil); err == nil {
+		t.Error("empty taus accepted")
+	}
+}
+
+func TestForwardMatchesDirectEvaluation(t *testing.T) {
+	freqs := wifi.Centers(wifi.Bands5GHz())
+	taus := TauGrid(30e-9, 0.5e-9)
+	m, err := NewMatrix(freqs, taus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A profile with a single unit tap at grid index 10 must produce
+	// exactly the single-path channel at that delay.
+	p := make(dsp.Vec, len(taus))
+	p[10] = 1
+	h := m.Forward(p)
+	want := synthChannel(freqs, []float64{taus[10] * 1e9}, []float64{1})
+	for i := range h {
+		if d := h[i] - want[i]; math.Hypot(real(d), imag(d)) > 1e-9 {
+			t.Fatalf("freq %d: %v vs %v", i, h[i], want[i])
+		}
+	}
+}
+
+func TestInvertSinglePath(t *testing.T) {
+	freqs := wifi.Centers(wifi.Bands5GHz())
+	taus := TauGrid(50e-9, 0.1e-9)
+	m, err := NewMatrix(freqs, taus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueTau := 7.3e-9
+	h := synthChannel(freqs, []float64{7.3}, []float64{1})
+	res, err := m.Invert(h, InvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := res.FirstPeakDelay(0.3)
+	if !ok {
+		t.Fatal("no peak")
+	}
+	if math.Abs(got-trueTau) > 0.1e-9 {
+		t.Errorf("peak at %v, want %v", got, trueTau)
+	}
+}
+
+func TestInvertFig4ThreePaths(t *testing.T) {
+	// The Fig. 4 scenario: 5.2, 10, 16 ns with descending gains. All
+	// three peaks must be recovered and the first peak must sit at 5.2 ns.
+	freqs := wifi.Centers(wifi.USBands())
+	taus := TauGrid(40e-9, 0.1e-9)
+	m, err := NewMatrix(freqs, taus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := synthChannel(freqs, []float64{5.2, 10, 16}, []float64{1, 0.7, 0.5})
+	res, err := m.Invert(h, InvertOptions{MaxIter: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, ok := res.FirstPeakDelay(0.2)
+	if !ok {
+		t.Fatal("no peak")
+	}
+	if math.Abs(first-5.2e-9) > 0.2e-9 {
+		t.Errorf("first peak at %v, want 5.2 ns", first)
+	}
+	peaks := dsp.FindPeaks(res.Taus, res.Magnitude, 0.2)
+	if len(peaks) < 3 {
+		t.Fatalf("recovered %d peaks, want ≥ 3", len(peaks))
+	}
+	wants := []float64{5.2e-9, 10e-9, 16e-9}
+	for _, w := range wants {
+		found := false
+		for _, p := range peaks {
+			if math.Abs(p.X-w) < 0.3e-9 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("path at %v not recovered; peaks: %+v", w, peaks)
+		}
+	}
+}
+
+func TestInvertProfileIsSparse(t *testing.T) {
+	freqs := wifi.Centers(wifi.USBands())
+	taus := TauGrid(40e-9, 0.1e-9)
+	m, _ := NewMatrix(freqs, taus)
+	h := synthChannel(freqs, []float64{5.2, 10, 16}, []float64{1, 0.7, 0.5})
+	res, err := m.Invert(h, InvertOptions{MaxIter: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonzero := 0
+	for _, v := range res.Profile {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	// The L1 prior must keep the solution much sparser than the grid.
+	if nonzero > len(taus)/4 {
+		t.Errorf("profile has %d/%d nonzeros — not sparse", nonzero, len(taus))
+	}
+}
+
+func TestInvertNoiseRobust(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	freqs := wifi.Centers(wifi.USBands())
+	taus := TauGrid(40e-9, 0.1e-9)
+	m, _ := NewMatrix(freqs, taus)
+	trueTau := 9.4e-9
+	h := synthChannel(freqs, []float64{9.4, 14.1}, []float64{1, 0.6})
+	for i := range h {
+		h[i] += complex(rng.NormFloat64()*0.05, rng.NormFloat64()*0.05)
+	}
+	res, err := m.Invert(h, InvertOptions{MaxIter: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := res.FirstPeakDelay(0.3)
+	if !ok {
+		t.Fatal("no peak")
+	}
+	if math.Abs(got-trueTau) > 0.3e-9 {
+		t.Errorf("first peak %v, want %v", got, trueTau)
+	}
+}
+
+func TestInvertAlphaControlsSparsity(t *testing.T) {
+	// Bigger α ⇒ fewer nonzeros (§6: "A bigger choice of α leads to
+	// fewer non-zero values in p").
+	freqs := wifi.Centers(wifi.USBands())
+	taus := TauGrid(30e-9, 0.2e-9)
+	m, _ := NewMatrix(freqs, taus)
+	h := synthChannel(freqs, []float64{5, 9, 13, 21}, []float64{1, 0.8, 0.6, 0.4})
+
+	count := func(alpha float64) int {
+		res, err := m.Invert(h, InvertOptions{Alpha: alpha, MaxIter: 3000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, v := range res.Profile {
+			if v != 0 {
+				n++
+			}
+		}
+		return n
+	}
+	corr := make(dsp.Vec, len(taus))
+	m.F.MulVecH(corr, h)
+	aMax := dsp.NormInf(corr)
+	small, large := count(0.01*aMax), count(0.5*aMax)
+	if large >= small {
+		t.Errorf("nonzeros: α small → %d, α large → %d; want decrease", small, large)
+	}
+}
+
+func TestInvertDimensionMismatch(t *testing.T) {
+	freqs := wifi.Centers(wifi.Bands5GHz())
+	m, _ := NewMatrix(freqs, TauGrid(10e-9, 1e-9))
+	if _, err := m.Invert(make(dsp.Vec, 3), InvertOptions{}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestInvertZeroMeasurement(t *testing.T) {
+	freqs := wifi.Centers(wifi.Bands5GHz())
+	m, _ := NewMatrix(freqs, TauGrid(10e-9, 1e-9))
+	res, err := m.Invert(make(dsp.Vec, len(freqs)), InvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dsp.Norm2(res.Profile) != 0 {
+		t.Errorf("zero input produced nonzero profile (norm %v)", dsp.Norm2(res.Profile))
+	}
+	if !res.Converged {
+		t.Error("zero input should converge immediately")
+	}
+}
+
+func TestInvertRandomInitMatchesZeroInit(t *testing.T) {
+	// Algorithm 1 initializes p₀ randomly; the objective is convex, so a
+	// random start must reach (nearly) the same first-peak answer.
+	freqs := wifi.Centers(wifi.USBands())
+	taus := TauGrid(30e-9, 0.2e-9)
+	m, _ := NewMatrix(freqs, taus)
+	h := synthChannel(freqs, []float64{6.6, 12.2}, []float64{1, 0.5})
+
+	r0, err := m.Invert(h, InvertOptions{MaxIter: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := m.Invert(h, InvertOptions{MaxIter: 5000, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, ok0 := r0.FirstPeakDelay(0.3)
+	p1, ok1 := r1.FirstPeakDelay(0.3)
+	if !ok0 || !ok1 {
+		t.Fatal("missing peaks")
+	}
+	if math.Abs(p0-p1) > 0.3e-9 {
+		t.Errorf("init sensitivity: %v vs %v", p0, p1)
+	}
+}
+
+func TestResultResidualSmallOnExactData(t *testing.T) {
+	freqs := wifi.Centers(wifi.USBands())
+	taus := TauGrid(20e-9, 0.1e-9)
+	m, _ := NewMatrix(freqs, taus)
+	// Tap exactly on the grid: residual should drop well below the
+	// signal norm.
+	p := make(dsp.Vec, len(taus))
+	p[50] = 1
+	h := m.Forward(p)
+	res, err := m.Invert(h, InvertOptions{Alpha: 0.01, MaxIter: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Residual > 0.2*dsp.Norm2(h) {
+		t.Errorf("residual %v vs signal %v", res.Residual, dsp.Norm2(h))
+	}
+}
+
+func TestDominantPeaksCount(t *testing.T) {
+	freqs := wifi.Centers(wifi.USBands())
+	taus := TauGrid(40e-9, 0.1e-9)
+	m, _ := NewMatrix(freqs, taus)
+	h := synthChannel(freqs, []float64{5.2, 10, 16}, []float64{1, 0.7, 0.5})
+	res, err := m.Invert(h, InvertOptions{MaxIter: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := res.DominantPeaks(0.2)
+	if n < 3 || n > 6 {
+		t.Errorf("dominant peaks = %d, want 3–6", n)
+	}
+}

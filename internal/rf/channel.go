@@ -1,0 +1,130 @@
+// Package rf models the over-the-air physics Chronos inverts: geometric
+// multipath propagation, attenuation, thermal noise, and the oscillator
+// impairments (carrier frequency offset, hardware phase constants) that
+// §7 of the paper cancels with forward×reverse CSI multiplication.
+//
+// The model is deliberately the same equation family the estimator
+// assumes — h(f) = Σₖ aₖ·e^{−j2πfτₖ} — because that equation *is* the
+// physics: each propagation path delays the passband signal by τₖ and
+// scales it by aₖ. Generating CSI from path geometry therefore exercises
+// exactly the code path a hardware CSI trace would.
+package rf
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Path is a single propagation path between transmitter and receiver.
+type Path struct {
+	Delay float64 // propagation delay in seconds (τₖ)
+	Gain  float64 // linear amplitude (aₖ), incorporating path loss and reflection losses
+}
+
+// Channel is a multipath wireless channel: a sparse sum of delayed,
+// attenuated copies of the signal.
+type Channel struct {
+	Paths []Path
+}
+
+// NewChannel returns a channel over the given paths sorted by delay (the
+// direct path first). The input slice is copied.
+func NewChannel(paths []Path) *Channel {
+	ps := append([]Path(nil), paths...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Delay < ps[j].Delay })
+	return &Channel{Paths: ps}
+}
+
+// Response returns the complex frequency response h(f) = Σ aₖ·e^{−j2πfτₖ}.
+func (c *Channel) Response(freq float64) complex128 {
+	var h complex128
+	for _, p := range c.Paths {
+		phase := -2 * math.Pi * freq * p.Delay
+		h += complex(p.Gain*math.Cos(phase), p.Gain*math.Sin(phase))
+	}
+	return h
+}
+
+// DirectDelay returns the smallest path delay — the true time of flight —
+// or 0 for an empty channel.
+func (c *Channel) DirectDelay() float64 {
+	if len(c.Paths) == 0 {
+		return 0
+	}
+	return c.Paths[0].Delay
+}
+
+// TotalPower returns Σ aₖ².
+func (c *Channel) TotalPower() float64 {
+	var p float64
+	for _, path := range c.Paths {
+		p += path.Gain * path.Gain
+	}
+	return p
+}
+
+// FreeSpaceGain returns the linear amplitude gain of free-space
+// propagation over distance d meters at frequency f, per the Friis
+// equation amplitude λ/(4πd). Distances below 10 cm are clamped to keep
+// gains finite when devices nearly touch.
+func FreeSpaceGain(d, f float64) float64 {
+	if d < 0.1 {
+		d = 0.1
+	}
+	lambda := 299792458.0 / f
+	return lambda / (4 * math.Pi * d)
+}
+
+// AWGN adds circularly symmetric complex Gaussian noise with the given
+// standard deviation per I/Q component to h.
+func AWGN(rng *rand.Rand, h complex128, sigma float64) complex128 {
+	return h + complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+}
+
+// NoiseSigmaForSNR returns the per-component noise standard deviation that
+// yields the requested SNR (in dB) for a signal of the given RMS
+// amplitude. SNR is defined as signalPower / (2σ²) since noise power is
+// split across I and Q.
+func NoiseSigmaForSNR(signalRMS, snrDB float64) float64 {
+	snr := math.Pow(10, snrDB/10)
+	if snr <= 0 {
+		return 0
+	}
+	noisePower := signalRMS * signalRMS / snr
+	return math.Sqrt(noisePower / 2)
+}
+
+// Oscillator models one radio's local oscillator: a part-per-million
+// frequency error plus a fixed hardware phase (the per-device component of
+// the reciprocity constant κ in §7).
+type Oscillator struct {
+	PPM       float64 // carrier frequency error in parts per million
+	HWPhase   float64 // constant phase from the TX/RX chain, radians
+	HWDelayNs float64 // constant group delay through the chain, nanoseconds
+}
+
+// NewOscillator draws a random oscillator with ppm error in ±maxPPM and a
+// uniform hardware phase, modelling manufacturing spread.
+func NewOscillator(rng *rand.Rand, maxPPM float64) Oscillator {
+	return Oscillator{
+		PPM:     (rng.Float64()*2 - 1) * maxPPM,
+		HWPhase: rng.Float64() * 2 * math.Pi,
+		// A couple of nanoseconds of chain delay, constant per device;
+		// §7 notes it is pre-calibrated once, so keep it small but nonzero.
+		HWDelayNs: rng.Float64() * 3,
+	}
+}
+
+// CarrierFreq returns the oscillator's actual carrier for a nominal
+// frequency: nominal · (1 + ppm·1e−6).
+func (o Oscillator) CarrierFreq(nominal float64) float64 {
+	return nominal * (1 + o.PPM*1e-6)
+}
+
+// CFOPhase returns the phase error accumulated at time t (seconds) when
+// this oscillator downconverts a signal upconverted by tx at the same
+// nominal carrier: 2π·(f_tx − f_rx)·t, as in Eq. 11 of the paper.
+func CFOPhase(tx, rx Oscillator, nominal, t float64) float64 {
+	return 2 * math.Pi * (tx.CarrierFreq(nominal) - rx.CarrierFreq(nominal)) * t
+}

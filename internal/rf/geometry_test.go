@@ -1,0 +1,168 @@
+package rf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPointDist(t *testing.T) {
+	if got := (Point2{0, 0}).Dist(Point2{3, 4}); got != 5 {
+		t.Errorf("Dist = %v", got)
+	}
+}
+
+func TestRectangle(t *testing.T) {
+	walls := Rectangle(0, 0, 20, 20, 0.6)
+	if len(walls) != 4 {
+		t.Fatalf("walls = %d", len(walls))
+	}
+	for _, w := range walls {
+		if w.Loss != 0.6 {
+			t.Errorf("loss = %v", w.Loss)
+		}
+	}
+}
+
+func TestMirror(t *testing.T) {
+	// Mirror across the x-axis wall.
+	w := Wall{A: Point2{0, 0}, B: Point2{10, 0}}
+	got := w.mirror(Point2{3, 4})
+	if math.Abs(got.X-3) > 1e-12 || math.Abs(got.Y+4) > 1e-12 {
+		t.Errorf("mirror = %+v", got)
+	}
+	// Degenerate wall returns the point unchanged.
+	deg := Wall{A: Point2{1, 1}, B: Point2{1, 1}}
+	if got := deg.mirror(Point2{5, 5}); got != (Point2{5, 5}) {
+		t.Errorf("degenerate mirror = %+v", got)
+	}
+}
+
+func TestReflectionPointSymmetricCase(t *testing.T) {
+	// TX and RX symmetric about x=5; floor wall along y=0. The specular
+	// point must be at (5, 0) and satisfy the equal-angle law.
+	w := Wall{A: Point2{0, 0}, B: Point2{10, 0}, Loss: 0.5}
+	pt, ok := w.reflectionPoint(Point2{2, 3}, Point2{8, 3})
+	if !ok {
+		t.Fatal("no reflection point")
+	}
+	if math.Abs(pt.X-5) > 1e-9 || math.Abs(pt.Y) > 1e-9 {
+		t.Errorf("reflection at %+v, want (5,0)", pt)
+	}
+}
+
+func TestReflectionPointOffSegment(t *testing.T) {
+	// Wall too short: specular point at x=5 is outside [0,1].
+	w := Wall{A: Point2{0, 0}, B: Point2{1, 0}}
+	if _, ok := w.reflectionPoint(Point2{2, 3}, Point2{8, 3}); ok {
+		t.Error("reflection reported for point off segment")
+	}
+}
+
+func TestGenerateChannelDirectPathDelay(t *testing.T) {
+	env := &Environment{Walls: Rectangle(0, 0, 20, 20, 0.5)}
+	tx, rx := Point2{5, 5}, Point2{11, 5}
+	ch := GenerateChannel(env, tx, rx, PropagationOptions{Freq: 5.18e9})
+	wantDelay := 6.0 / 299792458.0
+	if math.Abs(ch.DirectDelay()-wantDelay) > 1e-15 {
+		t.Errorf("direct delay = %v, want %v", ch.DirectDelay(), wantDelay)
+	}
+	if len(ch.Paths) < 2 {
+		t.Errorf("expected wall reflections, got %d paths", len(ch.Paths))
+	}
+}
+
+func TestGenerateChannelDirectIsStrongest(t *testing.T) {
+	env := &Environment{Walls: Rectangle(0, 0, 20, 20, 0.5)}
+	ch := GenerateChannel(env, Point2{5, 10}, Point2{15, 10}, PropagationOptions{Freq: 5.18e9})
+	direct := ch.Paths[0].Gain
+	for _, p := range ch.Paths[1:] {
+		if p.Gain > direct {
+			t.Errorf("reflection gain %v exceeds direct %v in LOS", p.Gain, direct)
+		}
+	}
+}
+
+func TestGenerateChannelNLOSAttenuation(t *testing.T) {
+	env := &Environment{Walls: Rectangle(0, 0, 20, 20, 0.5), NLOSAttenDB: 12}
+	tx, rx := Point2{5, 5}, Point2{15, 15}
+	los := GenerateChannel(env, tx, rx, PropagationOptions{Freq: 5.18e9})
+	nlos := GenerateChannel(env, tx, rx, PropagationOptions{Freq: 5.18e9, NLOS: true})
+	ratio := los.Paths[0].Gain / nlos.Paths[0].Gain
+	want := math.Pow(10, 12.0/20)
+	if math.Abs(ratio-want) > 1e-9 {
+		t.Errorf("NLOS attenuation ratio = %v, want %v", ratio, want)
+	}
+	// Direct delay unchanged (same geometry).
+	if los.DirectDelay() != nlos.DirectDelay() {
+		t.Error("NLOS changed the direct delay")
+	}
+}
+
+func TestGenerateChannelScatterers(t *testing.T) {
+	env := &Environment{Scatterers: []Point2{{10, 8}}}
+	tx, rx := Point2{5, 5}, Point2{15, 5}
+	ch := GenerateChannel(env, tx, rx, PropagationOptions{Freq: 5.18e9})
+	if len(ch.Paths) != 2 {
+		t.Fatalf("paths = %d, want direct + scatterer", len(ch.Paths))
+	}
+	scatterLen := tx.Dist(Point2{10, 8}) + (Point2{10, 8}).Dist(rx)
+	if math.Abs(ch.Paths[1].Delay-scatterLen/299792458.0) > 1e-15 {
+		t.Errorf("scatter delay = %v", ch.Paths[1].Delay)
+	}
+	if ch.Paths[1].Gain >= ch.Paths[0].Gain {
+		t.Error("scatterer outshines the direct path")
+	}
+}
+
+func TestGenerateChannelExcessDelayCap(t *testing.T) {
+	// A strong specular wall far away produces a path 30+ ns late; the
+	// default 25 ns excess-delay cap must drop it.
+	env := &Environment{Walls: []Wall{{A: Point2{-10, -5}, B: Point2{20, -5}, Loss: 0.9}}}
+	tx, rx := Point2{0, 0}, Point2{2, 0}
+	ch := GenerateChannel(env, tx, rx, PropagationOptions{Freq: 5.18e9, MinGain: 0.0001})
+	for _, p := range ch.Paths[1:] {
+		if p.Delay-ch.Paths[0].Delay > 25e-9 {
+			t.Errorf("late path at excess %.1f ns survived", (p.Delay-ch.Paths[0].Delay)*1e9)
+		}
+	}
+	// With a generous cap the wall bounce (path ≈ 10.2 m vs 2 m direct,
+	// excess ≈ 27 ns) must reappear.
+	ch2 := GenerateChannel(env, tx, rx, PropagationOptions{Freq: 5.18e9, MinGain: 0.0001, MaxExcessDelay: 100e-9})
+	if len(ch2.Paths) <= len(ch.Paths) {
+		t.Errorf("raising MaxExcessDelay did not admit the late path (%d vs %d)", len(ch2.Paths), len(ch.Paths))
+	}
+}
+
+func TestGenerateChannelMaxPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	env := &Environment{
+		Walls:      Rectangle(0, 0, 20, 20, 0.9),
+		Scatterers: RandomScatterers(rng, 30, 0, 0, 20, 20),
+	}
+	ch := GenerateChannel(env, Point2{3, 3}, Point2{17, 17}, PropagationOptions{Freq: 5.18e9, MaxPaths: 5, MinGain: 0.0001})
+	if len(ch.Paths) > 5 {
+		t.Errorf("paths = %d, want ≤ 5", len(ch.Paths))
+	}
+}
+
+func TestGenerateChannelPruneWeak(t *testing.T) {
+	env := &Environment{Scatterers: []Point2{{1000, 1000}}} // extremely long detour
+	ch := GenerateChannel(env, Point2{0, 0}, Point2{1, 0}, PropagationOptions{Freq: 5.18e9, MinGain: 0.01})
+	if len(ch.Paths) != 1 {
+		t.Errorf("weak scatterer not pruned: %d paths", len(ch.Paths))
+	}
+}
+
+func TestRandomScatterersInBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := RandomScatterers(rng, 100, 2, 3, 18, 19)
+	if len(pts) != 100 {
+		t.Fatalf("n = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.X < 2 || p.X > 18 || p.Y < 3 || p.Y > 19 {
+			t.Errorf("scatterer %+v out of bounds", p)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+// Package stats provides the descriptive statistics the Chronos evaluation
+// harness reports: empirical CDFs, percentiles, histograms, RMSE, and
+// running moments. All functions are deterministic and allocation-light so
+// they can run inside benchmarks.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Median returns the median of xs, or NaN for an empty slice. The input is
+// not modified.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between order statistics, or NaN for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo] + frac*(sorted[hi]-sorted[lo])
+}
+
+// Mean returns the arithmetic mean, or NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n−1 denominator), or NaN
+// for fewer than two samples.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// RMSE returns the root-mean-square of xs (typically a slice of errors),
+// or NaN for empty input.
+func RMSE(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var ss float64
+	for _, x := range xs {
+		ss += x * x
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// CDF is an empirical cumulative distribution function over a sample.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from the sample (which is copied).
+func NewCDF(xs []float64) *CDF {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return &CDF{sorted: sorted}
+}
+
+// Len returns the sample size.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X ≤ x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-quantile (q in [0,1]).
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	return percentileSorted(c.sorted, q*100)
+}
+
+// Median is shorthand for Quantile(0.5).
+func (c *CDF) Median() float64 { return c.Quantile(0.5) }
+
+// Points samples the CDF at n evenly spaced probabilities and returns
+// (value, probability) pairs suitable for plotting the paper's CDF figures.
+func (c *CDF) Points(n int) [][2]float64 {
+	if n < 2 || len(c.sorted) == 0 {
+		return nil
+	}
+	out := make([][2]float64, n)
+	for i := 0; i < n; i++ {
+		q := float64(i) / float64(n-1)
+		out[i] = [2]float64{c.Quantile(q), q}
+	}
+	return out
+}
+
+// Histogram is a fixed-width-bin histogram over [Min, Max).
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	total    int
+	under    int // samples below Min
+	over     int // samples at or above Max
+}
+
+// NewHistogram creates a histogram with bins equal-width bins spanning
+// [min, max). It panics if bins < 1 or max <= min, which indicates a
+// programming error in the harness.
+func NewHistogram(min, max float64, bins int) *Histogram {
+	if bins < 1 || max <= min {
+		panic(fmt.Sprintf("stats: invalid histogram [%g,%g) bins=%d", min, max, bins))
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Min:
+		h.under++
+	case x >= h.Max:
+		h.over++
+	default:
+		i := int((x - h.Min) / (h.Max - h.Min) * float64(len(h.Counts)))
+		if i >= len(h.Counts) { // float edge case at upper boundary
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// AddAll records every value in xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// Total returns the number of observations recorded (including out-of-range).
+func (h *Histogram) Total() int { return h.total }
+
+// OutOfRange returns the counts below Min and at/above Max.
+func (h *Histogram) OutOfRange() (under, over int) { return h.under, h.over }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Max - h.Min) / float64(len(h.Counts))
+	return h.Min + (float64(i)+0.5)*w
+}
+
+// Fraction returns the fraction of all observations landing in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// Running accumulates streaming mean/variance via Welford's algorithm.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the running mean (NaN when empty).
+func (r *Running) Mean() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.mean
+}
+
+// StdDev returns the running sample standard deviation (NaN below 2 samples).
+func (r *Running) StdDev() float64 {
+	if r.n < 2 {
+		return math.NaN()
+	}
+	return math.Sqrt(r.m2 / float64(r.n-1))
+}
+
+// Min and Max return the observed extrema (NaN when empty).
+func (r *Running) Min() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.min
+}
+
+// Max returns the largest observation (NaN when empty).
+func (r *Running) Max() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.max
+}

@@ -1,0 +1,106 @@
+package tof
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chronos/internal/rf"
+	"chronos/internal/wifi"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.MaxTau != 60e-9 || cfg.GridStep != 0.1e-9 {
+		t.Errorf("grid defaults: %+v", cfg)
+	}
+	if cfg.PeakThreshold != 0.15 || cfg.SearchWindow != 12e-9 {
+		t.Errorf("peak defaults: %+v", cfg)
+	}
+	if cfg.MaxIter != 1500 || cfg.AliasPeriod != 25e-9 {
+		t.Errorf("solver defaults: %+v", cfg)
+	}
+}
+
+func TestConfigExplicitValuesKept(t *testing.T) {
+	cfg := Config{MaxTau: 1e-9, GridStep: 1e-12, PeakThreshold: 0.5,
+		SearchWindow: 1e-9, MaxIter: 7, AliasPeriod: -1}.withDefaults()
+	if cfg.MaxTau != 1e-9 || cfg.GridStep != 1e-12 || cfg.PeakThreshold != 0.5 ||
+		cfg.SearchWindow != 1e-9 || cfg.MaxIter != 7 || cfg.AliasPeriod != -1 {
+		t.Errorf("explicit values overridden: %+v", cfg)
+	}
+}
+
+func TestEstimateAliasPeriodDisabled(t *testing.T) {
+	// With AliasPeriod < 0 the hypothesis test is skipped entirely; on a
+	// clean single path the answer must be unaffected.
+	rng := rand.New(rand.NewSource(1))
+	link := testLink(rng, 10, nil, false)
+	bands := wifi.Bands5GHz()
+	for _, alias := range []float64{-1, 25e-9} {
+		est := calibrated(t, Config{Mode: Bands5GHzOnly, MaxIter: 800, AliasPeriod: alias}, link, rng, bands)
+		sweep := link.Sweep(rng, bands, 3, 2.4e-3)
+		got, err := est.Estimate(bands, sweep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := math.Abs(got.ToF - 10e-9); e > 0.5e-9 {
+			t.Errorf("alias=%v: error %v", alias, e)
+		}
+	}
+}
+
+func TestEstimateAlphaFactorRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	link := testLink(rng, 8, []rf.Path{{Delay: 13e-9, Gain: 0.5}}, false)
+	bands := wifi.Bands5GHz()
+	for _, f := range []float64{0.3, 3} {
+		est := calibrated(t, Config{Mode: Bands5GHzOnly, MaxIter: 800, AlphaFactor: f}, link, rng, bands)
+		sweep := link.Sweep(rng, bands, 3, 2.4e-3)
+		got, err := est.Estimate(bands, sweep)
+		if err != nil {
+			t.Fatalf("alpha factor %v: %v", f, err)
+		}
+		if e := math.Abs(got.ToF - 8e-9); e > 2e-9 {
+			t.Errorf("alpha factor %v: error %v", f, e)
+		}
+	}
+}
+
+func TestEstimateCustomGrid(t *testing.T) {
+	// A coarse grid must still find the path, just less precisely.
+	rng := rand.New(rand.NewSource(3))
+	link := testLink(rng, 12, nil, false)
+	bands := wifi.Bands5GHz()
+	est := calibrated(t, Config{Mode: Bands5GHzOnly, MaxIter: 600, GridStep: 0.5e-9, MaxTau: 30e-9}, link, rng, bands)
+	sweep := link.Sweep(rng, bands, 3, 2.4e-3)
+	got, err := est.Estimate(bands, sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := math.Abs(got.ToF - 12e-9); e > 1e-9 {
+		t.Errorf("coarse-grid error %v", e)
+	}
+}
+
+func TestWindowGridHelper(t *testing.T) {
+	g := windowGrid(1, 2, 0.25)
+	if len(g) != 5 || g[0] != 1 {
+		t.Errorf("grid = %v", g)
+	}
+	if g := windowGrid(3, 2, 0.5); len(g) != 1 || g[0] != 3 {
+		t.Errorf("degenerate grid = %v", g)
+	}
+	if g := windowGrid(0, 1, 0); len(g) != 1 {
+		t.Errorf("zero-step grid = %v", g)
+	}
+}
+
+func TestSpanOfSingleFrequency(t *testing.T) {
+	if got := spanOf([]float64{5e9}); got != wifi.BandwidthHT20 {
+		t.Errorf("single-band span = %v, want channel bandwidth", got)
+	}
+	if got := spanOf([]float64{5e9, 5.1e9}); got != 0.1e9 {
+		t.Errorf("span = %v", got)
+	}
+}

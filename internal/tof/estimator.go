@@ -1,0 +1,414 @@
+package tof
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"chronos/internal/csi"
+	"chronos/internal/dsp"
+	"chronos/internal/ndft"
+	"chronos/internal/wifi"
+)
+
+// BandMode selects which frequency bands feed the profile inversion.
+type BandMode int
+
+const (
+	// BandsFused (default) inverts the 5 GHz bands in the h̃² domain and,
+	// when 2.4 GHz measurements are present, fuses the coarse 2.4 GHz
+	// estimate with the fine 5 GHz one by precision weighting. This is
+	// the faithful mode for quirked hardware: the two groups live in
+	// different channel-power domains (h̃² vs h̃⁸) and cannot share one
+	// NDFT (their delay supports differ).
+	BandsFused BandMode = iota
+	// Bands5GHzOnly uses only the 5 GHz bands (h̃², 645 MHz span).
+	Bands5GHzOnly
+	// Bands24Only uses only the 2.4 GHz bands (h̃⁸ when quirked).
+	Bands24Only
+	// BandsAllCoherent inverts every band in one NDFT in the h̃² domain,
+	// spanning the full 2.4–5.8 GHz ≈ 3.4 GHz. Valid only when the
+	// radio's 2.4 GHz quirk is disabled (clean-firmware what-if); it is
+	// the upper bound on stitching resolution.
+	BandsAllCoherent
+)
+
+// Config tunes the estimator.
+type Config struct {
+	Mode     BandMode
+	Interp   InterpMode
+	Quirk24  bool    // whether the radios exhibit the 2.4 GHz phase quirk
+	MaxTau   float64 // largest resolvable time of flight (default 60 ns ≈ 18 m)
+	GridStep float64 // τ-domain grid step (default 0.1 ns)
+	// Alpha is the sparsity parameter forwarded to Algorithm 1 (0 = auto).
+	Alpha float64
+	// AlphaFactor multiplies the auto-scaled α when Alpha is 0 (default
+	// 1). The sparsity ablation sweeps this.
+	AlphaFactor float64
+	// PeakThreshold is the dominant-peak cutoff as a fraction of the
+	// profile maximum (default 0.15).
+	PeakThreshold float64
+	// SearchWindow bounds how far before the strongest profile peak the
+	// first-peak search may reach, in seconds of true τ (default 12 ns).
+	// With indoor delay spreads bounded by ~25 ns, the squared-channel
+	// content spans at most 12.5 ns (τ) before its strongest component,
+	// while the grating-lobe ghosts of the mostly-20 MHz-spaced band
+	// lattice appear 25 ns (τ) below their parents — i.e. always more
+	// than 12.5 ns below the strongest peak. A 12 ns window therefore
+	// admits every genuine direct path and rejects every lattice ghost.
+	SearchWindow float64
+	MaxIter      int // ISTA iteration cap (default 1500)
+	// AliasPeriod is the τ-domain grating-lobe period of the band
+	// lattice (default 25 ns: the 20 MHz channel raster gives 50 ns in
+	// the h̃² delay domain, and the 2.4 GHz 5 MHz raster gives 200 ns in
+	// the h̃⁸ domain — both 25 ns in τ). The estimator disambiguates the
+	// first peak across ±1 alias period by refitting each hypothesis on
+	// a window shorter than the period and keeping the best data fit;
+	// only the off-lattice channels can tell the hypotheses apart, which
+	// is exactly the §4 observation that unequally spaced bands raise
+	// the unambiguous range. Set negative to disable the test.
+	AliasPeriod float64
+	// ForwardOnly disables the §7 CFO cancellation (ablation).
+	ForwardOnly bool
+	// CalibrationOffset is subtracted from every τ estimate; it absorbs
+	// the constant hardware chain delays (§7 observation 2). Obtain it
+	// once via Calibrate.
+	CalibrationOffset float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxTau == 0 {
+		c.MaxTau = 60e-9
+	}
+	if c.GridStep == 0 {
+		c.GridStep = 0.1e-9
+	}
+	if c.PeakThreshold == 0 {
+		c.PeakThreshold = 0.15
+	}
+	if c.SearchWindow == 0 {
+		c.SearchWindow = 12e-9
+	}
+	if c.MaxIter == 0 {
+		c.MaxIter = 1500
+	}
+	if c.AliasPeriod == 0 {
+		c.AliasPeriod = 25e-9
+	}
+	return c
+}
+
+// Estimator turns band sweeps of CSI pairs into time-of-flight estimates.
+// It caches NDFT matrices, which are expensive to build, keyed by the
+// band-group signature; an Estimator is not safe for concurrent use.
+type Estimator struct {
+	cfg      Config
+	matrices map[string]*ndft.Matrix
+}
+
+// NewEstimator builds an estimator with the given configuration.
+func NewEstimator(cfg Config) *Estimator {
+	return &Estimator{cfg: cfg.withDefaults(), matrices: make(map[string]*ndft.Matrix)}
+}
+
+// Config returns the estimator's effective (defaulted) configuration.
+func (e *Estimator) Config() Config { return e.cfg }
+
+// Profile is a multipath profile expressed in true time-of-flight units
+// (the channel-power scaling has been divided out).
+type Profile struct {
+	Taus      []float64 // delays in seconds (τ domain)
+	Magnitude []float64
+	Power     int // channel power the profile was computed in (2 or 8)
+}
+
+// Estimate is the result of one sweep.
+type Estimate struct {
+	ToF      float64 // direct-path time of flight in seconds
+	Distance float64 // ToF × c, meters
+	Profile  *Profile
+	// Peaks is the number of dominant peaks in the profile (§12.1).
+	Peaks int
+	// Fused reports whether a 2.4 GHz estimate was blended in.
+	Fused bool
+}
+
+// ErrNoBands reports that no usable band measurements were supplied.
+var ErrNoBands = errors.New("tof: no usable band measurements")
+
+type bandMeas struct {
+	freq  float64
+	value complex128
+	power int
+}
+
+// Estimate processes one full sweep: sweep[i] holds the CSI pairs
+// captured on bands[i].
+func (e *Estimator) Estimate(bands []wifi.Band, sweep [][]csi.Pair) (*Estimate, error) {
+	if len(bands) != len(sweep) {
+		return nil, fmt.Errorf("tof: %d bands but %d sweep entries", len(bands), len(sweep))
+	}
+	var meas []bandMeas
+	for i, b := range bands {
+		if len(sweep[i]) == 0 {
+			continue
+		}
+		quirked := IsQuirked(b, e.cfg.Quirk24)
+		if e.cfg.Mode == BandsAllCoherent && quirked {
+			return nil, errors.New("tof: BandsAllCoherent requires quirk-free radios")
+		}
+		switch e.cfg.Mode {
+		case Bands5GHzOnly:
+			if b.GHz24() {
+				continue
+			}
+		case Bands24Only:
+			if !b.GHz24() {
+				continue
+			}
+		}
+		v, power, err := BandValue(sweep[i], quirked, e.cfg.Interp, e.cfg.ForwardOnly)
+		if err != nil {
+			return nil, err
+		}
+		meas = append(meas, bandMeas{freq: b.Center, value: v, power: power})
+	}
+	if len(meas) == 0 {
+		return nil, ErrNoBands
+	}
+
+	// Group by channel power: each group gets its own inversion because
+	// the delay supports differ (h̃ᵖ has delays that are sums of p path
+	// delays).
+	groups := map[int][]bandMeas{}
+	for _, m := range meas {
+		groups[m.power] = append(groups[m.power], m)
+	}
+
+	type groupEst struct {
+		tau     float64
+		profile *Profile
+		peaks   int
+		weight  float64
+	}
+	var ests []groupEst
+	for power, g := range groups {
+		if len(g) < 3 {
+			continue // too few bands to invert meaningfully
+		}
+		freqs := make([]float64, len(g))
+		h := make(dsp.Vec, len(g))
+		for i, m := range g {
+			freqs[i] = m.freq
+			h[i] = m.value
+		}
+		prof, err := e.invertGroup(freqs, h, power)
+		if err != nil {
+			return nil, err
+		}
+		tau, ok := e.firstPeakWindowed(prof)
+		if !ok {
+			continue
+		}
+		if e.cfg.AliasPeriod > 0 {
+			tau = e.disambiguateAlias(freqs, h, power, tau)
+		}
+		span := spanOf(freqs)
+		ests = append(ests, groupEst{
+			tau:     tau,
+			profile: prof,
+			peaks:   dsp.DominantPeakCount(prof.Taus, prof.Magnitude, e.cfg.PeakThreshold),
+			// Precision ∝ (effective span)², where the channel power
+			// multiplies the phase sensitivity but also the noise; span
+			// dominates in practice.
+			weight: span * span,
+		})
+	}
+	if len(ests) == 0 {
+		return nil, ErrNoBands
+	}
+
+	// Pick the highest-weight group as primary; fuse others that agree
+	// within 3 ns (outlier guard).
+	primary := ests[0]
+	for _, g := range ests[1:] {
+		if g.weight > primary.weight {
+			primary = g
+		}
+	}
+	tauSum, wSum := primary.tau*primary.weight, primary.weight
+	fused := false
+	for _, g := range ests {
+		if g.profile == primary.profile {
+			continue
+		}
+		if math.Abs(g.tau-primary.tau) < 3e-9 {
+			tauSum += g.tau * g.weight
+			wSum += g.weight
+			fused = true
+		}
+	}
+	tau := tauSum/wSum - e.cfg.CalibrationOffset
+	if tau < 0 {
+		tau = 0
+	}
+	return &Estimate{
+		ToF:      tau,
+		Distance: tau * wifi.SpeedOfLight,
+		Profile:  primary.profile,
+		Peaks:    primary.peaks,
+		Fused:    fused,
+	}, nil
+}
+
+// firstPeakWindowed applies the §6 first-peak rule with an alias guard:
+// the earliest dominant peak is searched only within SearchWindow before
+// the strongest peak. The band lattice's grating-lobe ghosts land a full
+// alias period earlier and are excluded; the genuine direct path, bounded
+// by the indoor delay spread, is not.
+func (e *Estimator) firstPeakWindowed(prof *Profile) (float64, bool) {
+	strongest, ok := dsp.StrongestPeak(prof.Taus, prof.Magnitude)
+	if !ok {
+		return 0, false
+	}
+	peaks := dsp.FindPeaks(prof.Taus, prof.Magnitude, e.cfg.PeakThreshold)
+	lo := strongest.X - e.cfg.SearchWindow
+	for _, p := range peaks {
+		if p.X >= lo && p.X <= strongest.X+1e-15 {
+			return p.X, true
+		}
+	}
+	return strongest.X, true
+}
+
+// disambiguateAlias resolves which grating-lobe hypothesis the first peak
+// belongs to. For each shift k·AliasPeriod around the candidate, it refits
+// the measurements on a delay window shorter than one alias period; the
+// displaced hypotheses fit the on-lattice channels but rotate the
+// off-lattice channels, so the true hypothesis has the smallest residual.
+func (e *Estimator) disambiguateAlias(freqs []float64, h dsp.Vec, power int, tau float64) float64 {
+	pf := float64(power)
+	resids := map[int]float64{}
+	for k := -1; k <= 1; k++ {
+		cand := tau + float64(k)*e.cfg.AliasPeriod
+		if cand < -1e-9 || cand > e.cfg.MaxTau {
+			continue
+		}
+		// Window [cand−2 ns, cand+22 ns] in τ, scaled into the h̃ᵖ delay
+		// domain; 24 ns < the 25 ns alias period, so the window holds at
+		// most one hypothesis.
+		lo := (cand - 2e-9) * pf
+		if lo < 0 {
+			lo = 0
+		}
+		hi := (cand + 22e-9) * pf
+		taus := windowGrid(lo, hi, pf*e.cfg.GridStep)
+		mat, err := ndft.NewMatrix(freqs, taus)
+		if err != nil {
+			continue
+		}
+		res, err := mat.Invert(h, ndft.InvertOptions{Alpha: e.cfg.Alpha, MaxIter: 600})
+		if err != nil {
+			continue
+		}
+		resids[k] = res.Residual
+	}
+	base, ok := resids[0]
+	if !ok {
+		return tau
+	}
+	// Shift only when a competing hypothesis fits the data decisively
+	// better than the incumbent — a conservative test, since residual
+	// comparisons are noisy when the off-lattice channels are faded.
+	bestK, bestResid := 0, base
+	for k, r := range resids {
+		if r < 0.85*base && r < bestResid {
+			bestK, bestResid = k, r
+		}
+	}
+	return tau + float64(bestK)*e.cfg.AliasPeriod
+}
+
+// windowGrid builds a uniform grid over [lo, hi] with the given step.
+func windowGrid(lo, hi, step float64) []float64 {
+	if step <= 0 || hi <= lo {
+		return []float64{lo}
+	}
+	var out []float64
+	for t := lo; t <= hi; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+// invertGroup runs Algorithm 1 for one power group and rescales the
+// resulting profile from the h̃ᵖ delay domain back to true τ.
+func (e *Estimator) invertGroup(freqs []float64, h dsp.Vec, power int) (*Profile, error) {
+	key := groupKey(freqs, power)
+	mat, ok := e.matrices[key]
+	if !ok {
+		// The h̃ᵖ profile lives on delays that are sums of p path delays,
+		// so the grid must span p·MaxTau. Keep the column count constant
+		// by scaling the step too: resolution in τ is preserved after
+		// division by p.
+		taus := ndft.TauGrid(float64(power)*e.cfg.MaxTau, float64(power)*e.cfg.GridStep)
+		var err error
+		mat, err = ndft.NewMatrix(freqs, taus)
+		if err != nil {
+			return nil, err
+		}
+		e.matrices[key] = mat
+	}
+	res, err := mat.Invert(h, ndft.InvertOptions{
+		Alpha:      e.cfg.Alpha,
+		AlphaScale: e.cfg.AlphaFactor,
+		MaxIter:    e.cfg.MaxIter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	taus := make([]float64, len(res.Taus))
+	for i, t := range res.Taus {
+		taus[i] = t / float64(power)
+	}
+	return &Profile{Taus: taus, Magnitude: res.Magnitude, Power: power}, nil
+}
+
+func groupKey(freqs []float64, power int) string {
+	// Band groups are static per estimator config; the first/last/len
+	// signature is enough to distinguish them.
+	return fmt.Sprintf("%d:%d:%.0f:%.0f", power, len(freqs), freqs[0], freqs[len(freqs)-1])
+}
+
+func spanOf(freqs []float64) float64 {
+	lo, hi := freqs[0], freqs[0]
+	for _, f := range freqs[1:] {
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	if hi == lo {
+		// A single-band group still carries some information; use the
+		// channel bandwidth as its effective span.
+		return wifi.BandwidthHT20
+	}
+	return hi - lo
+}
+
+// Calibrate measures the constant hardware offset of a device pair by
+// estimating ToF at a known true distance and returning the difference.
+// The paper performs this once per pair (§7 observation 2); the returned
+// value is meant to be stored in Config.CalibrationOffset.
+func Calibrate(est *Estimator, bands []wifi.Band, sweep [][]csi.Pair, trueDistance float64) (float64, error) {
+	saved := est.cfg.CalibrationOffset
+	est.cfg.CalibrationOffset = 0
+	defer func() { est.cfg.CalibrationOffset = saved }()
+	r, err := est.Estimate(bands, sweep)
+	if err != nil {
+		return 0, err
+	}
+	return r.ToF - trueDistance/wifi.SpeedOfLight, nil
+}

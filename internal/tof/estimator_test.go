@@ -1,0 +1,224 @@
+package tof
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"chronos/internal/csi"
+	"chronos/internal/rf"
+	"chronos/internal/wifi"
+)
+
+// testLink builds a link over a multipath channel whose direct path has
+// the given delay (ns).
+func testLink(rng *rand.Rand, directNs float64, extraPaths []rf.Path, quirk bool) *csi.Link {
+	tx, rx := csi.NewRadio(rng), csi.NewRadio(rng)
+	tx.Quirk24, rx.Quirk24 = quirk, quirk
+	paths := append([]rf.Path{{Delay: directNs * 1e-9, Gain: 1}}, extraPaths...)
+	return &csi.Link{TX: tx, RX: rx, Channel: rf.NewChannel(paths), SNRdB: 30}
+}
+
+// calibrated returns an estimator calibrated against the hardware delays
+// of the link, emulating the paper's one-time known-distance calibration.
+func calibrated(t *testing.T, cfg Config, link *csi.Link, rng *rand.Rand, bands []wifi.Band) *Estimator {
+	t.Helper()
+	est := NewEstimator(cfg)
+	sweep := link.Sweep(rng, bands, 3, 2.4e-3)
+	trueDist := link.Channel.DirectDelay() * wifi.SpeedOfLight
+	off, err := Calibrate(est, bands, sweep, trueDist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est.cfg.CalibrationOffset = off
+	return est
+}
+
+func TestEstimateSinglePath5GHz(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	link := testLink(rng, 10, nil, false)
+	bands := wifi.Bands5GHz()
+	est := calibrated(t, Config{Mode: Bands5GHzOnly, MaxIter: 800}, link, rng, bands)
+
+	sweep := link.Sweep(rng, bands, 3, 2.4e-3)
+	got, err := est.Estimate(bands, sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := math.Abs(got.ToF - 10e-9); e > 0.5e-9 {
+		t.Errorf("ToF error = %v, want < 0.5 ns", e)
+	}
+	if math.Abs(got.Distance-got.ToF*wifi.SpeedOfLight) > 1e-9 {
+		t.Error("Distance inconsistent with ToF")
+	}
+}
+
+func TestEstimateMultipath5GHz(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	extra := []rf.Path{
+		{Delay: 14e-9, Gain: 0.6},
+		{Delay: 21e-9, Gain: 0.4},
+	}
+	link := testLink(rng, 8, extra, false)
+	bands := wifi.Bands5GHz()
+	est := calibrated(t, Config{Mode: Bands5GHzOnly, MaxIter: 1200}, link, rng, bands)
+
+	var errs []float64
+	for trial := 0; trial < 5; trial++ {
+		sweep := link.Sweep(rng, bands, 3, 2.4e-3)
+		got, err := est.Estimate(bands, sweep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs = append(errs, math.Abs(got.ToF-8e-9))
+	}
+	// Median-ish check: at least 3 of 5 trials within 1 ns.
+	good := 0
+	for _, e := range errs {
+		if e < 1e-9 {
+			good++
+		}
+	}
+	if good < 3 {
+		t.Errorf("only %d/5 trials within 1 ns: %v", good, errs)
+	}
+}
+
+func TestEstimateFusedWithQuirk(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	link := testLink(rng, 12, []rf.Path{{Delay: 18e-9, Gain: 0.5}}, true)
+	bands := wifi.USBands()
+	est := calibrated(t, Config{Mode: BandsFused, Quirk24: true, MaxIter: 1200}, link, rng, bands)
+
+	sweep := link.Sweep(rng, bands, 3, 2.4e-3)
+	got, err := est.Estimate(bands, sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := math.Abs(got.ToF - 12e-9); e > 1.5e-9 {
+		t.Errorf("fused ToF error = %v", e)
+	}
+}
+
+func TestEstimateAllCoherentQuirkFree(t *testing.T) {
+	// The clean-firmware what-if: all 35 bands in one inversion.
+	rng := rand.New(rand.NewSource(4))
+	link := testLink(rng, 9, []rf.Path{{Delay: 15e-9, Gain: 0.5}}, false)
+	bands := wifi.USBands()
+	est := calibrated(t, Config{Mode: BandsAllCoherent, MaxIter: 1200}, link, rng, bands)
+
+	sweep := link.Sweep(rng, bands, 3, 2.4e-3)
+	got, err := est.Estimate(bands, sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := math.Abs(got.ToF - 9e-9); e > 0.5e-9 {
+		t.Errorf("all-coherent ToF error = %v", e)
+	}
+}
+
+func TestEstimateAllCoherentRejectsQuirk(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	link := testLink(rng, 9, nil, true)
+	bands := wifi.USBands()
+	est := NewEstimator(Config{Mode: BandsAllCoherent, Quirk24: true})
+	sweep := link.Sweep(rng, bands, 1, 2.4e-3)
+	if _, err := est.Estimate(bands, sweep); err == nil {
+		t.Error("BandsAllCoherent accepted quirked radios")
+	}
+}
+
+func TestEstimateBandsMismatch(t *testing.T) {
+	est := NewEstimator(Config{})
+	if _, err := est.Estimate(wifi.USBands(), nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestEstimateNoUsableBands(t *testing.T) {
+	est := NewEstimator(Config{Mode: Bands5GHzOnly})
+	bands := wifi.Bands24GHz()
+	sweep := make([][]csi.Pair, len(bands))
+	if _, err := est.Estimate(bands, sweep); !errors.Is(err, ErrNoBands) {
+		t.Errorf("err = %v, want ErrNoBands", err)
+	}
+}
+
+func TestEstimateProfilePeaksReported(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	extra := []rf.Path{{Delay: 13e-9, Gain: 0.7}, {Delay: 19e-9, Gain: 0.5}}
+	link := testLink(rng, 7, extra, false)
+	bands := wifi.Bands5GHz()
+	est := calibrated(t, Config{Mode: Bands5GHzOnly, MaxIter: 1200}, link, rng, bands)
+
+	sweep := link.Sweep(rng, bands, 3, 2.4e-3)
+	got, err := est.Estimate(bands, sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Profile == nil {
+		t.Fatal("no profile")
+	}
+	if got.Peaks < 1 || got.Peaks > 12 {
+		t.Errorf("peaks = %d", got.Peaks)
+	}
+	if got.Profile.Power != 2 {
+		t.Errorf("profile power = %d, want 2", got.Profile.Power)
+	}
+	// Profile taus must be in true τ units: first peak near 7 ns (sum
+	// domain divided by power). Find max tau in the grid: should span
+	// MaxTau.
+	lastTau := got.Profile.Taus[len(got.Profile.Taus)-1]
+	if math.Abs(lastTau-est.Config().MaxTau) > est.Config().GridStep*2 {
+		t.Errorf("profile grid ends at %v, want %v", lastTau, est.Config().MaxTau)
+	}
+}
+
+func TestCalibrationRemovesHardwareOffset(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	link := testLink(rng, 10, nil, false)
+	bands := wifi.Bands5GHz()
+
+	// Uncalibrated: the chain delays bias the estimate.
+	est := NewEstimator(Config{Mode: Bands5GHzOnly, MaxIter: 800})
+	sweep := link.Sweep(rng, bands, 3, 2.4e-3)
+	raw, err := est.Estimate(bands, sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hwSum := (link.TX.Osc.HWDelayNs + link.RX.Osc.HWDelayNs) * 1e-9
+	if hwSum > 0.5e-9 {
+		if math.Abs(raw.ToF-10e-9) < hwSum/2 {
+			t.Errorf("expected hardware bias ≈ %v, got error %v", hwSum, math.Abs(raw.ToF-10e-9))
+		}
+	}
+
+	// Calibrated at a known distance, the bias disappears.
+	cal := calibrated(t, Config{Mode: Bands5GHzOnly, MaxIter: 800}, link, rng, bands)
+	sweep2 := link.Sweep(rng, bands, 3, 2.4e-3)
+	got, err := cal.Estimate(bands, sweep2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := math.Abs(got.ToF - 10e-9); e > 0.5e-9 {
+		t.Errorf("calibrated error = %v", e)
+	}
+}
+
+func TestEstimateNeverNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	link := testLink(rng, 0.5, nil, false) // 15 cm — devices nearly touching
+	bands := wifi.Bands5GHz()
+	est := calibrated(t, Config{Mode: Bands5GHzOnly, MaxIter: 800}, link, rng, bands)
+	for trial := 0; trial < 3; trial++ {
+		sweep := link.Sweep(rng, bands, 3, 2.4e-3)
+		got, err := est.Estimate(bands, sweep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ToF < 0 {
+			t.Errorf("negative ToF %v", got.ToF)
+		}
+	}
+}
