@@ -6,6 +6,7 @@
 package chronos
 
 import (
+	"flag"
 	"math/rand"
 	"testing"
 
@@ -16,8 +17,17 @@ import (
 	"chronos/internal/wifi"
 )
 
+// benchWorkers sizes the campaign worker pool for every exp benchmark
+// (0 = all cores). Per-trial seeding keeps results identical across
+// worker counts, so this trades only wall-clock, not comparability:
+//
+//	go test -bench . -workers 1
+var benchWorkers = flag.Int("workers", 0, "campaign worker-pool size for exp benchmarks (0 = all cores)")
+
 // quick returns bench-scale options: small campaigns, fixed seed.
-func quick(trials int) exp.Options { return exp.Options{Seed: 1, Trials: trials} }
+func quick(trials int) exp.Options {
+	return exp.Options{Seed: 1, Trials: trials, Workers: *benchWorkers}
+}
 
 func BenchmarkFig3CRTAlignment(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -6,6 +6,10 @@
 //	chronos-bench -fig 7a      # one figure
 //	chronos-bench -ablate cfo  # one ablation study
 //	chronos-bench -trials 50   # scale campaign sizes
+//	chronos-bench -workers 4   # bound the trial worker pool (0 = all cores)
+//
+// Campaign trials are seeded per trial, so tables are byte-identical for
+// a given -seed regardless of -workers.
 package main
 
 import (
@@ -52,9 +56,10 @@ func main() {
 	ablate := flag.String("ablate", "", "ablation to run (bands,delay,cfo,sparsity,separation, or 'all')")
 	trials := flag.Int("trials", 0, "trials per condition (0 = experiment default)")
 	seed := flag.Int64("seed", 1, "campaign seed")
+	workers := flag.Int("workers", 0, "campaign worker-pool size (0 = all cores); tables are identical for a given -seed at any worker count")
 	flag.Parse()
 
-	opts := exp.Options{Seed: *seed, Trials: *trials}
+	opts := exp.Options{Seed: *seed, Trials: *trials, Workers: *workers}
 
 	if *ablate != "" {
 		ran := false

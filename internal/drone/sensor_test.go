@@ -10,6 +10,9 @@ import (
 )
 
 func TestPipelineSensorAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full ToF pipeline per range — slow under -race")
+	}
 	rng := rand.New(rand.NewSource(1))
 	s, err := NewPipelineSensor(rng, Room(6, 5))
 	if err != nil {
@@ -26,6 +29,9 @@ func TestPipelineSensorAccuracy(t *testing.T) {
 }
 
 func TestPipelineSensorNonNegative(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full ToF pipeline per range — slow under -race")
+	}
 	rng := rand.New(rand.NewSource(2))
 	s, err := NewPipelineSensor(rng, Room(6, 5))
 	if err != nil {

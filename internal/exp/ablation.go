@@ -2,20 +2,21 @@ package exp
 
 import (
 	"fmt"
-	"math/rand"
 
 	"chronos/internal/baseline"
-	"chronos/internal/sim"
 	"chronos/internal/stats"
 	"chronos/internal/tof"
 )
 
 // ablationRun measures median/p90 ToF error for one estimator
-// configuration over a mixed LOS campaign.
-func ablationRun(seed int64, cfg tof.Config, trials int) (median, p90 float64, n int) {
-	rng := rand.New(rand.NewSource(seed))
-	office := sim.NewOffice(rng, sim.OfficeConfig{})
-	tr := runToFCampaign(rng, office, cfg, trials, false, 15)
+// configuration over a mixed LOS campaign. Every case of one ablation
+// passes the same campaignID: per-trial RNG streams depend only on
+// (seed, campaignID, trial), so trial t starts from identical placement
+// draws under every configuration — a paired comparison, with the
+// config under test as the only variable.
+func ablationRun(o Options, campaignID string, cfg tof.Config) (median, p90 float64, n int) {
+	office := newOffice(o)
+	tr := runToFCampaign(o, campaignID, office, cfg, o.Trials, false, 15)
 	errs := make([]float64, len(tr))
 	for i, t := range tr {
 		errs[i] = t.ErrNs
@@ -44,7 +45,7 @@ func AblationBands(o Options) *Result {
 		{"all coherent (no quirk)", tof.Config{Mode: tof.BandsAllCoherent, Quirk24: false, MaxIter: 1200}},
 	}
 	for i, c := range cases {
-		med, p90, n := ablationRun(o.Seed, c.cfg, o.Trials)
+		med, p90, n := ablationRun(o, "ablate-bands", c.cfg)
 		res.Rows = append(res.Rows, []string{c.name, fmtF(med, 3), fmtF(p90, 3), fmt.Sprintf("%d", n)})
 		res.Metrics[fmt.Sprintf("median_%d_ns", i)] = med
 	}
@@ -71,15 +72,18 @@ func AblationDelay(o Options) *Result {
 	}
 	for i, c := range cases {
 		cfg := tof.Config{Mode: tof.Bands5GHzOnly, MaxIter: 1200, Interp: c.interp}
-		med, p90, n := ablationRun(o.Seed, cfg, o.Trials)
+		med, p90, n := ablationRun(o, "ablate-delay", cfg)
 		res.Rows = append(res.Rows, []string{c.name, fmtF(med, 3), fmtF(p90, 3), fmt.Sprintf("%d", n)})
 		res.Metrics[fmt.Sprintf("median_%d_ns", i)] = med
+		// The per-packet jitter that the zero-subcarrier interpolation
+		// removes shows up mostly in the error tail, so expose p90 too.
+		res.Metrics[fmt.Sprintf("p90_%d_ns", i)] = p90
 	}
 	// The truly uncompensated approach — time-of-arrival from the raw
 	// packet timeline, detection delay included — is the §5 strawman.
 	// Even after subtracting the mean delay, the per-packet variance
 	// leaks straight into ToF.
-	rng := rand.New(rand.NewSource(o.Seed))
+	rng := trialRNG(o, "ablate-delay/toa", 0)
 	model := baseline.DefaultDelayModel()
 	var toaErrs []float64
 	for i := 0; i < 500; i++ {
@@ -115,7 +119,7 @@ func AblationCFO(o Options) *Result {
 		{"forward only (no cancellation)", true},
 	} {
 		cfg := tof.Config{Mode: tof.Bands5GHzOnly, MaxIter: 1200, ForwardOnly: c.fwd}
-		med, p90, n := ablationRun(o.Seed, cfg, o.Trials)
+		med, p90, n := ablationRun(o, "ablate-cfo", cfg)
 		res.Rows = append(res.Rows, []string{c.name, fmtF(med, 3), fmtF(p90, 3), fmt.Sprintf("%d", n)})
 		res.Metrics[fmt.Sprintf("median_%d_ns", i)] = med
 	}
@@ -141,7 +145,7 @@ func AblationSparsity(o Options) *Result {
 	// are expressed via the dedicated AlphaFactor field below.
 	for _, f := range []float64{0.3, 1.0, 3.0} {
 		cfg := tof.Config{Mode: tof.Bands5GHzOnly, MaxIter: 1200, AlphaFactor: f}
-		med, p90, n := ablationRun(o.Seed, cfg, o.Trials)
+		med, p90, n := ablationRun(o, "ablate-sparsity", cfg)
 		res.Rows = append(res.Rows, []string{fmtF(f, 1), fmtF(med, 3), fmtF(p90, 3), fmt.Sprintf("%d", n)})
 		res.Metrics[fmt.Sprintf("median_x%.1f_ns", f)] = med
 	}
@@ -152,8 +156,7 @@ func AblationSparsity(o Options) *Result {
 // trade-off behind Fig. 8b vs 8c).
 func AblationSeparation(o Options) *Result {
 	o = o.withDefaults(12)
-	rng := rand.New(rand.NewSource(o.Seed))
-	office := sim.NewOffice(rng, sim.OfficeConfig{})
+	office := newOffice(o)
 	res := &Result{
 		ID:     "ablate-separation",
 		Title:  "Antenna-separation sweep: localization error vs array span",
@@ -161,7 +164,7 @@ func AblationSeparation(o Options) *Result {
 	}
 	res.Metrics = map[string]float64{}
 	for _, sep := range []float64{0.15, 0.30, 0.60, 1.00} {
-		errs := locCampaign(rng, office, sep, o.Trials, false)
+		errs := locCampaign(o, "ablate-separation", office, sep, o.Trials, false)
 		res.Rows = append(res.Rows, []string{
 			fmtF(sep*100, 0), fmtF(stats.Median(errs), 3), fmt.Sprintf("%d", len(errs)),
 		})

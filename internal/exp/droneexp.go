@@ -12,12 +12,14 @@ import (
 // desired 1.4 m while following a walking user (paper: median ≈4.2 cm).
 func Fig10a(o Options) *Result {
 	o = o.withDefaults(10)
-	rng := rand.New(rand.NewSource(o.Seed))
 
-	var all []float64
-	for run := 0; run < o.Trials; run++ {
+	runs := runTrials(o, "fig10a", o.Trials, func(t int, rng *rand.Rand) ([]float64, bool) {
 		res := drone.Track(rng, drone.StatSensor{}, drone.TrackConfig{Duration: 40})
-		all = append(all, res.Deviations...)
+		return res.Deviations, true
+	})
+	var all []float64
+	for _, devs := range runs {
+		all = append(all, devs...)
 	}
 	cm := make([]float64, len(all))
 	for i, d := range all {
@@ -43,8 +45,7 @@ func Fig10a(o Options) *Result {
 // user's, holding the pairwise distance.
 func Fig10b(o Options) *Result {
 	o = o.withDefaults(1)
-	rng := rand.New(rand.NewSource(o.Seed))
-	tr := drone.Track(rng, drone.StatSensor{}, drone.TrackConfig{Duration: 30})
+	tr := drone.Track(trialRNG(o, "fig10b", 0), drone.StatSensor{}, drone.TrackConfig{Duration: 30})
 
 	res := &Result{
 		ID:     "fig10b",

@@ -1,0 +1,106 @@
+package exp
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"chronos/internal/sim"
+)
+
+// trialSeed derives the RNG seed for one trial of one campaign. The
+// canonical RNG stream is per-trial, not per-campaign: a trial's seed
+// depends only on (campaign seed, campaign ID, trial index), never on
+// which worker runs it or in what order, so campaign results are
+// bit-identical for a given Options.Seed at any worker count.
+func trialSeed(seed int64, campaignID string, trial int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(campaignID))
+	var idx [8]byte
+	binary.LittleEndian.PutUint64(idx[:], uint64(trial))
+	h.Write(idx[:])
+	return seed ^ int64(h.Sum64())
+}
+
+// trialRNG builds the dedicated RNG for one trial of one campaign.
+func trialRNG(o Options, campaignID string, trial int) *rand.Rand {
+	return rand.New(rand.NewSource(trialSeed(o.Seed, campaignID, trial)))
+}
+
+// workerCount resolves Options.Workers: values > 0 are used as given,
+// anything else means "all cores".
+func (o Options) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// runTrials is the parallel campaign engine. It fans the trial indices
+// [0, trials) out over a pool of Options.Workers goroutines; each trial
+// runs fn with its own splittable RNG (seeded by trialSeed) so the
+// output is independent of scheduling. fn returns (value, ok); trials
+// that report ok=false (e.g. calibration failures) are dropped. Results
+// are returned compacted in trial-index order, exactly as a serial loop
+// over the same per-trial RNGs would produce them.
+func runTrials[T any](o Options, campaignID string, trials int, fn func(trial int, rng *rand.Rand) (T, bool)) []T {
+	if trials <= 0 {
+		return nil
+	}
+	results := make([]T, trials)
+	keep := make([]bool, trials)
+
+	workers := o.workerCount()
+	if workers > trials {
+		workers = trials
+	}
+	if workers <= 1 {
+		for t := 0; t < trials; t++ {
+			results[t], keep[t] = fn(t, trialRNG(o, campaignID, t))
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for t := range idx {
+					results[t], keep[t] = fn(t, trialRNG(o, campaignID, t))
+				}
+			}()
+		}
+		for t := 0; t < trials; t++ {
+			idx <- t
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	out := make([]T, 0, trials)
+	for t := 0; t < trials; t++ {
+		if keep[t] {
+			out = append(out, results[t])
+		}
+	}
+	return out
+}
+
+// campaignName qualifies a campaign ID with its visibility class so the
+// LOS and NLOS arms of one figure draw disjoint per-trial RNG streams.
+func campaignName(id string, nlos bool) string {
+	if nlos {
+		return id + "/NLOS"
+	}
+	return id + "/LOS"
+}
+
+// newOffice instantiates the campaign's office floor plan from a
+// dedicated RNG stream derived from the campaign seed. The office is
+// built once, before any trial runs, and is treated as read-only by the
+// trial workers (placement draws use per-trial RNGs).
+func newOffice(o Options) *sim.Office {
+	return sim.NewOffice(rand.New(rand.NewSource(o.Seed)), sim.OfficeConfig{})
+}

@@ -3,12 +3,29 @@
 // the simulated testbed. The cmd/chronos-bench binary, the top-level Go
 // benchmarks, and EXPERIMENTS.md all drive these functions, so the
 // numbers reported everywhere come from a single implementation.
+//
+// # Campaign parallelism and the per-trial seeding scheme
+//
+// Campaign trials are independent, so every campaign loop runs on the
+// runTrials worker-pool engine (Options.Workers goroutines, defaulting
+// to all cores). Determinism is preserved by making the canonical RNG
+// stream per-trial rather than per-campaign: trial t of campaign id
+// draws from rand.NewSource(Options.Seed ^ fnv64a(id, t)). A trial's
+// randomness therefore depends only on the campaign seed, the campaign
+// ID, and the trial index — never on which worker runs it or in what
+// order trials finish — so a campaign's Result is bit-identical for a
+// given seed at any worker count. Shared campaign fixtures (the office
+// floor plan) are generated before the fan-out from their own stream
+// and are read-only during trials; per-worker tof.Estimators come from
+// a sync.Pool because an Estimator's NDFT-matrix cache is not safe for
+// concurrent use.
 package exp
 
 import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 
 	"chronos/internal/csi"
 	"chronos/internal/sim"
@@ -20,6 +37,10 @@ import (
 type Options struct {
 	Seed   int64
 	Trials int // per condition; 0 = experiment default
+	// Workers is the size of the trial worker pool; 0 (or negative)
+	// means one worker per CPU core. The result tables are identical
+	// for a given Seed at any Workers value.
+	Workers int
 }
 
 func (o Options) withDefaults(defTrials int) Options {
@@ -79,14 +100,18 @@ type tofTrial struct {
 }
 
 // runToFCampaign measures calibrated ToF error over `trials` random
-// placements of each visibility class. The estimator (and its cached NDFT
-// matrices) is shared across trials; calibration offsets are applied per
-// device pair, as the paper's one-time calibration does.
-func runToFCampaign(rng *rand.Rand, office *sim.Office, cfg tof.Config, trials int, nlos bool, maxDist float64) []tofTrial {
+// placements of each visibility class, fanned out over the worker pool.
+// Each worker draws a tof.Estimator (with its cached NDFT matrices) from
+// a shared pool — the cache is reused across that worker's trials but
+// never shared between concurrent trials; calibration offsets are
+// applied per device pair, as the paper's one-time calibration does.
+func runToFCampaign(o Options, campaignID string, office *sim.Office, cfg tof.Config, trials int, nlos bool, maxDist float64) []tofTrial {
 	bands := pickBands(cfg)
-	est := tof.NewEstimator(cfg)
-	out := make([]tofTrial, 0, trials)
-	for t := 0; t < trials; t++ {
+	estimators := sync.Pool{New: func() any { return tof.NewEstimator(cfg) }}
+	return runTrials(o, campaignID, trials, func(t int, rng *rand.Rand) (tofTrial, bool) {
+		est := estimators.Get().(*tof.Estimator)
+		defer estimators.Put(est)
+
 		p := office.RandomPlacement(rng, maxDist, nlos)
 		link := office.NewLink(rng, p, sim.LinkConfig{Quirk: cfg.Quirk24})
 
@@ -97,14 +122,14 @@ func runToFCampaign(rng *rand.Rand, office *sim.Office, cfg tof.Config, trials i
 		calSweep := link.Sweep(rng, bands, 3, 2.4e-3)
 		offset, err := tof.Calibrate(est, bands, calSweep, calP.TrueDistance())
 		if err != nil {
-			continue
+			return tofTrial{}, false
 		}
 
 		link.Channel = office.Channel(p, 5.5e9)
 		sweep := link.Sweep(rng, bands, 3, 2.4e-3)
 		r, err := est.Estimate(bands, sweep)
 		if err != nil {
-			continue
+			return tofTrial{}, false
 		}
 		e := (r.ToF - offset - p.TrueToF()) * 1e9
 		if e < 0 {
@@ -116,9 +141,8 @@ func runToFCampaign(rng *rand.Rand, office *sim.Office, cfg tof.Config, trials i
 				trial.DelaysNs = append(trial.DelaysNs, pair.Forward.DetectionDelay*1e9)
 			}
 		}
-		out = append(out, trial)
-	}
-	return out
+		return trial, true
+	})
 }
 
 // pickBands returns the band list matching the estimator mode.

@@ -15,15 +15,15 @@ import (
 
 // locCampaign measures localization error for a given antenna separation
 // over random placements (the §12.2 method: 3-antenna receiver, per-
-// antenna ToF → distances → outlier rejection → least-squares position).
-func locCampaign(rng *rand.Rand, office *sim.Office, sep float64, trials int, nlos bool) []float64 {
+// antenna ToF → distances → outlier rejection → least-squares position),
+// fanned out over the worker pool one placement per trial.
+func locCampaign(o Options, campaignID string, office *sim.Office, sep float64, trials int, nlos bool) []float64 {
 	bands := wifi.Bands5GHz()
 	// Three antennas at a triangle with mean pairwise separation sep —
 	// the paper's non-collinear assumption (§8).
 	array := geo.TriangleArray(sep)
-	var errs []float64
 
-	for t := 0; t < trials; t++ {
+	return runTrials(o, campaignID, trials, func(t int, rng *rand.Rand) (float64, bool) {
 		// Fresh hardware per trial: one single-antenna transmitter and
 		// one 3-chain receiver card. All chains share the card's
 		// oscillator and packet detector (csi.ArrayLink), so antenna-
@@ -48,24 +48,26 @@ func locCampaign(rng *rand.Rand, office *sim.Office, sep float64, trials int, nl
 			trueDist[i] = calTx.Dist(ant)
 		}
 		if err := localizer.CalibrateArray(rng, bands, link, trueDist, 3); err != nil {
-			continue
+			return 0, false
 		}
 
-		// Measure a random target placement relative to the same array.
-		target := office.RandomPlacement(rng, 15, nlos).TX
-		if target.Dist(rxCenter) < 1 || target.Dist(rxCenter) > 15 {
-			t-- // redraw placements that violate the distance envelope
-			continue
+		// Measure a random target placement relative to the same array,
+		// redrawing placements that violate the distance envelope.
+		var target geo.Point
+		for {
+			target = office.RandomPlacement(rng, 15, nlos).TX
+			if d := target.Dist(rxCenter); d >= 1 && d <= 15 {
+				break
+			}
 		}
 		place(target, nlos)
 		fix, err := localizer.LocateArray(bands, link.Sweep(rng, bands, 3, 2.4e-3))
 		if err != nil {
-			continue
+			return 0, false
 		}
 		truthLocal := target.Sub(rxCenter)
-		errs = append(errs, fix.Position.Dist(truthLocal))
-	}
-	return errs
+		return fix.Position.Dist(truthLocal), true
+	})
 }
 
 // Fig8b reproduces localization accuracy with a client-style 30 cm
@@ -78,8 +80,7 @@ func Fig8c(o Options) *Result { return locFigure(o, "fig8c", 1.00) }
 
 func locFigure(o Options, id string, sep float64) *Result {
 	o = o.withDefaults(20)
-	rng := rand.New(rand.NewSource(o.Seed))
-	office := sim.NewOffice(rng, sim.OfficeConfig{})
+	office := newOffice(o)
 
 	res := &Result{
 		ID:     id,
@@ -88,7 +89,7 @@ func locFigure(o Options, id string, sep float64) *Result {
 	}
 	res.Metrics = map[string]float64{"separation_m": sep}
 	for _, nlos := range []bool{false, true} {
-		errs := locCampaign(rng, office, sep, o.Trials, nlos)
+		errs := locCampaign(o, campaignName(id, nlos), office, sep, o.Trials, nlos)
 		name := "LOS"
 		if nlos {
 			name = "NLOS"

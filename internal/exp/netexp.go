@@ -15,12 +15,9 @@ import (
 // 35 bands on the Intel 5300).
 func Fig9a(o Options) *Result {
 	o = o.withDefaults(30)
-	rng := rand.New(rand.NewSource(o.Seed))
-	durs := hop.SweepDurations(rng, wifi.USBands(), hop.Config{}, o.Trials)
-	ms := make([]float64, len(durs))
-	for i, d := range durs {
-		ms[i] = d * 1000
-	}
+	ms := runTrials(o, "fig9a", o.Trials, func(t int, rng *rand.Rand) (float64, bool) {
+		return hop.Sweep(rng, wifi.USBands(), hop.Config{}).Duration.Seconds() * 1000, true
+	})
 	res := &Result{
 		ID:     "fig9a",
 		Title:  "Channel-hop sweep time over all 35 Wi-Fi bands",
@@ -40,8 +37,7 @@ func Fig9a(o Options) *Result {
 // t = 6 s pauses the download but the playout buffer prevents any stall.
 func Fig9b(o Options) *Result {
 	o = o.withDefaults(1)
-	rng := rand.New(rand.NewSource(o.Seed))
-	sweep := hop.Sweep(rng, wifi.USBands(), hop.Config{})
+	sweep := hop.Sweep(trialRNG(o, "fig9b", 0), wifi.USBands(), hop.Config{})
 	outage := netsim.Outage{Start: 6 * time.Second, Duration: sweep.Duration}
 	tr := netsim.Video(netsim.VideoConfig{}, 12*time.Second, []netsim.Outage{outage})
 
@@ -80,7 +76,7 @@ func indexAt(samples []netsim.Sample, at time.Duration) int {
 // 1 s-window throughput by a few percent (paper: ≈6.5%).
 func Fig9c(o Options) *Result {
 	o = o.withDefaults(1)
-	rng := rand.New(rand.NewSource(o.Seed))
+	rng := trialRNG(o, "fig9c", 0)
 	sweep := hop.Sweep(rng, wifi.USBands(), hop.Config{})
 	outage := netsim.Outage{Start: 6 * time.Second, Duration: sweep.Duration}
 	samples := netsim.TCPTrace(rng, netsim.TCPConfig{}, 15*time.Second, time.Second, []netsim.Outage{outage})

@@ -3,12 +3,10 @@ package exp
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"chronos/internal/crt"
 	"chronos/internal/dsp"
 	"chronos/internal/ndft"
-	"chronos/internal/sim"
 	"chronos/internal/stats"
 	"chronos/internal/wifi"
 )
@@ -99,8 +97,7 @@ func Fig4(o Options) *Result {
 // 0.69 ns NLOS).
 func Fig7a(o Options) *Result {
 	o = o.withDefaults(30)
-	rng := rand.New(rand.NewSource(o.Seed))
-	office := sim.NewOffice(rng, sim.OfficeConfig{})
+	office := newOffice(o)
 	cfg := defaultToFConfig()
 
 	res := &Result{
@@ -110,7 +107,7 @@ func Fig7a(o Options) *Result {
 	}
 	res.Metrics = map[string]float64{}
 	for _, nlos := range []bool{false, true} {
-		trials := runToFCampaign(rng, office, cfg, o.Trials, nlos, 15)
+		trials := runToFCampaign(o, campaignName("fig7a", nlos), office, cfg, o.Trials, nlos, 15)
 		errs := make([]float64, len(trials))
 		for i, t := range trials {
 			errs[i] = t.ErrNs
@@ -137,8 +134,7 @@ func Fig7a(o Options) *Result {
 // 5.05 ± 1.95).
 func Fig7b(o Options) *Result {
 	o = o.withDefaults(30)
-	rng := rand.New(rand.NewSource(o.Seed))
-	office := sim.NewOffice(rng, sim.OfficeConfig{})
+	office := newOffice(o)
 	cfg := defaultToFConfig()
 
 	var peaksAll []float64
@@ -148,7 +144,7 @@ func Fig7b(o Options) *Result {
 		Header: []string{"condition", "mean peaks", "std", "trials"},
 	}
 	for _, nlos := range []bool{false, true} {
-		trials := runToFCampaign(rng, office, cfg, o.Trials/2+1, nlos, 15)
+		trials := runToFCampaign(o, campaignName("fig7b", nlos), office, cfg, o.Trials/2+1, nlos, 15)
 		var peaks []float64
 		for _, t := range trials {
 			peaks = append(peaks, float64(t.Peaks))
@@ -178,11 +174,10 @@ func Fig7b(o Options) *Result {
 // with time of flight (paper: median delay 177 ns, σ 24.76 ns, ≈8× ToF).
 func Fig7c(o Options) *Result {
 	o = o.withDefaults(20)
-	rng := rand.New(rand.NewSource(o.Seed))
-	office := sim.NewOffice(rng, sim.OfficeConfig{})
+	office := newOffice(o)
 	cfg := defaultToFConfig()
 
-	trials := runToFCampaign(rng, office, cfg, o.Trials, false, 15)
+	trials := runToFCampaign(o, "fig7c", office, cfg, o.Trials, false, 15)
 	var delays, tofs []float64
 	for _, t := range trials {
 		delays = append(delays, t.DelaysNs...)
@@ -209,8 +204,7 @@ func Fig7c(o Options) *Result {
 // ~10 cm near, ≤25.6 cm at 12–15 m).
 func Fig8a(o Options) *Result {
 	o = o.withDefaults(60)
-	rng := rand.New(rand.NewSource(o.Seed))
-	office := sim.NewOffice(rng, sim.OfficeConfig{})
+	office := newOffice(o)
 	cfg := defaultToFConfig()
 
 	buckets := []struct{ lo, hi float64 }{
@@ -220,7 +214,7 @@ func Fig8a(o Options) *Result {
 	data := make([]agg, len(buckets))
 
 	for _, nlos := range []bool{false, true} {
-		trials := runToFCampaign(rng, office, cfg, o.Trials, nlos, 15)
+		trials := runToFCampaign(o, campaignName("fig8a", nlos), office, cfg, o.Trials, nlos, 15)
 		for _, t := range trials {
 			for bi, b := range buckets {
 				if t.DistM > b.lo && t.DistM <= b.hi {

@@ -38,6 +38,9 @@ func (r *arrayRig) place(txPos, rxCenter geo.Point, nlos bool) {
 }
 
 func TestLocateArrayAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign-scale localization test")
+	}
 	rng := rand.New(rand.NewSource(1))
 	r := newArrayRig(rng, 0.3)
 	bands := wifi.Bands5GHz()
@@ -73,6 +76,9 @@ func TestLocateArrayAccuracy(t *testing.T) {
 }
 
 func TestLocateArrayDistancesTrackTruth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign-scale localization test")
+	}
 	rng := rand.New(rand.NewSource(2))
 	r := newArrayRig(rng, 0.3)
 	bands := wifi.Bands5GHz()

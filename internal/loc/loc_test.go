@@ -76,6 +76,9 @@ func calibratedLocalizer(t *testing.T, rng *rand.Rand, r *rig, bands []wifi.Band
 }
 
 func TestLocateThreeAntennaLOS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign-scale localization test")
+	}
 	rng := rand.New(rand.NewSource(1))
 	r := newRig(rng, 3, 0.5)
 	bands := wifi.Bands5GHz()
@@ -101,6 +104,9 @@ func TestLocateThreeAntennaLOS(t *testing.T) {
 }
 
 func TestLocateWiderArrayNoWorse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign-scale localization test")
+	}
 	// §10/§12.2: larger antenna separation should not hurt accuracy (it
 	// should generally help). Run both on identical scenario seeds.
 	bands := wifi.Bands5GHz()
@@ -151,6 +157,9 @@ func TestCalibrateAllInputMismatch(t *testing.T) {
 }
 
 func TestLocateTwoAntennaAmbiguity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign-scale localization test")
+	}
 	rng := rand.New(rand.NewSource(3))
 	r := newRig(rng, 2, 0.5)
 	bands := wifi.Bands5GHz()

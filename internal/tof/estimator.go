@@ -100,7 +100,17 @@ func (c Config) withDefaults() Config {
 
 // Estimator turns band sweeps of CSI pairs into time-of-flight estimates.
 // It caches NDFT matrices, which are expensive to build, keyed by the
-// band-group signature; an Estimator is not safe for concurrent use.
+// band-group signature.
+//
+// Concurrency contract: an Estimator is NOT safe for concurrent use —
+// Estimate populates the matrix cache lazily, and Calibrate temporarily
+// rewrites Config.CalibrationOffset. Callers that fan work out over
+// goroutines must give each concurrent trial its own Estimator; a
+// sync.Pool of estimators (as internal/exp's campaign engine uses)
+// amortizes the matrix-building cost across one worker's trials without
+// ever sharing a cache between racing goroutines. The matrices
+// themselves are immutable after construction, so read-only structures
+// built from an Estimate result may be shared freely.
 type Estimator struct {
 	cfg      Config
 	matrices map[string]*ndft.Matrix
