@@ -119,6 +119,21 @@ func BenchmarkFig10bDroneTrajectory(b *testing.B) {
 	}
 }
 
+func BenchmarkTrackCapacityCampaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.TrackCapacity(quick(2))
+		if f := r.Metrics["fixes_per_sec_n1"]; f < 5 || f > 20 {
+			b.Fatalf("single-device fix rate drifted: %v/s", f)
+		}
+	}
+}
+
+func BenchmarkTrackSpeedCampaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.TrackSpeed(quick(1))
+	}
+}
+
 func BenchmarkAblationDelayCompensation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		exp.AblationDelay(quick(3))

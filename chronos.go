@@ -26,6 +26,7 @@ import (
 	"chronos/internal/rf"
 	"chronos/internal/sim"
 	"chronos/internal/tof"
+	"chronos/internal/track"
 	"chronos/internal/wifi"
 )
 
@@ -159,6 +160,69 @@ type DroneSensor = drone.StatSensor
 
 // DroneConfig tunes a drone following run.
 type DroneConfig = drone.TrackConfig
+
+// ToFSweep is the incremental estimation core: CSI folds in band by band
+// as a sweep streams in, and a (possibly early, degraded) fix can be
+// requested at any point. Obtain one from ToFEstimator.NewSweep.
+type ToFSweep = tof.Sweep
+
+// TrackFilterConfig tunes the per-device constant-velocity Kalman filters.
+type TrackFilterConfig = track.FilterConfig
+
+// RangeTracker smooths a stream of scalar range fixes with outlier gating.
+type RangeTracker = track.RangeTracker
+
+// PositionTracker smooths a stream of 2D position fixes with outlier gating.
+type PositionTracker = track.PositionTracker
+
+// NewRangeTracker builds a range tracker.
+func NewRangeTracker(cfg TrackFilterConfig) *RangeTracker { return track.NewRangeTracker(cfg) }
+
+// NewPositionTracker builds a position tracker.
+func NewPositionTracker(cfg TrackFilterConfig) *PositionTracker {
+	return track.NewPositionTracker(cfg)
+}
+
+// TrackSessionConfig tunes one full-pipeline streaming tracking session.
+type TrackSessionConfig = track.SessionConfig
+
+// TrackFix is one streamed tracking output (raw + smoothed range).
+type TrackFix = track.Fix
+
+// TrackSessionResult is a streaming session's output.
+type TrackSessionResult = track.SessionResult
+
+// RunTrackSession streams band sweeps over a moving target in the office
+// through the incremental estimator and a Kalman range tracker.
+func RunTrackSession(rng *rand.Rand, office *Office, est *ToFEstimator, cfg TrackSessionConfig) (*TrackSessionResult, error) {
+	return track.RunSession(rng, office, est, cfg)
+}
+
+// TrackSchedulerConfig tunes the multi-client session scheduler.
+type TrackSchedulerConfig = track.SchedulerConfig
+
+// TrackSchedule is one interleaved multi-device schedule with airtime and
+// fix-capacity metrics.
+type TrackSchedule = track.Schedule
+
+// RunTrackSchedule interleaves band-hopping sweeps across N concurrent
+// devices on one virtual timeline.
+func RunTrackSchedule(rng *rand.Rand, cfg TrackSchedulerConfig) *TrackSchedule {
+	return track.RunSchedule(rng, cfg)
+}
+
+// TrackMultiConfig tunes a capacity-scale multi-device tracking run.
+type TrackMultiConfig = track.MultiConfig
+
+// TrackMultiResult pairs a schedule's capacity metrics with per-device
+// smoothed trajectories.
+type TrackMultiResult = track.MultiResult
+
+// RunTrackMulti replays an interleaved schedule through per-device walks,
+// the statistical range-error model, and Kalman trackers.
+func RunTrackMulti(rng *rand.Rand, cfg TrackMultiConfig) *TrackMultiResult {
+	return track.RunMulti(rng, cfg)
+}
 
 // MeasureDistance is the quickstart helper: it sweeps all bands over the
 // link, runs the faithful estimator, and returns the estimated distance

@@ -67,6 +67,64 @@ func TestFacadeDrone(t *testing.T) {
 	}
 }
 
+func TestFacadeTracking(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+
+	// Incremental estimation through the facade: fold a sweep band by band.
+	tx, rx := NewRadio(rng), NewRadio(rng)
+	tx.Quirk24, rx.Quirk24 = false, false
+	link := &Link{
+		TX: tx, RX: rx,
+		Channel: NewChannel([]Path{{Delay: 4 / SpeedOfLight, Gain: 1}}),
+		SNRdB:   30,
+	}
+	bands := Bands5GHz()
+	est := NewToFEstimator(ToFConfig{Mode: Bands5GHzOnly, MaxIter: 500})
+	sweep := link.Sweep(rng, bands, 2, 2.4e-3)
+	acc := est.NewSweep()
+	for i, b := range bands {
+		if err := acc.AddBand(b, sweep[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := acc.Estimate(); err != nil {
+		t.Fatalf("incremental estimate: %v", err)
+	}
+
+	// Kalman smoothing and the multi-device scheduler.
+	tr := NewRangeTracker(TrackFilterConfig{})
+	if got, ok := tr.Observe(0, 5); !ok || got != 5 {
+		t.Errorf("tracker priming = (%v, %v)", got, ok)
+	}
+	sched := RunTrackSchedule(rng, TrackSchedulerConfig{Devices: 2})
+	if len(sched.Fixes) != 2 || sched.Utilization <= 0 {
+		t.Errorf("schedule: %d fixes, util %v", len(sched.Fixes), sched.Utilization)
+	}
+	multi := RunTrackMulti(rng, TrackMultiConfig{
+		Scheduler: TrackSchedulerConfig{Devices: 2, SweepsPerDevice: 3},
+		Speed:     0.8,
+	})
+	if len(multi.Devices) != 2 {
+		t.Errorf("multi devices = %d", len(multi.Devices))
+	}
+}
+
+func TestFacadeTrackSession(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline session")
+	}
+	rng := rand.New(rand.NewSource(5))
+	office := NewOffice(rng, OfficeConfig{})
+	est := NewToFEstimator(ToFConfig{Mode: Bands5GHzOnly, MaxIter: 400})
+	res, err := RunTrackSession(rng, office, est, TrackSessionConfig{Speed: 0.8, Sweeps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fixes) == 0 {
+		t.Error("session streamed no fixes")
+	}
+}
+
 func TestFacadeLocalizer(t *testing.T) {
 	l := NewLocalizer(LinearArray(3, 0.3), ToFConfig{})
 	if len(l.Estimators) != 3 {

@@ -7,6 +7,7 @@
 //	chronos-bench -ablate cfo  # one ablation study
 //	chronos-bench -trials 50   # scale campaign sizes
 //	chronos-bench -workers 4   # bound the trial worker pool (0 = all cores)
+//	chronos-bench -json        # machine-readable output (feeds BENCH_*.json)
 //
 // Campaign trials are seeded per trial, so tables are byte-identical for
 // a given -seed regardless of -workers.
@@ -57,15 +58,27 @@ func main() {
 	trials := flag.Int("trials", 0, "trials per condition (0 = experiment default)")
 	seed := flag.Int64("seed", 1, "campaign seed")
 	workers := flag.Int("workers", 0, "campaign worker-pool size (0 = all cores); tables are identical for a given -seed at any worker count")
+	asJSON := flag.Bool("json", false, "emit results as JSON instead of text tables")
 	flag.Parse()
 
 	opts := exp.Options{Seed: *seed, Trials: *trials, Workers: *workers}
 
+	// Text mode streams each table as its campaign finishes (full runs
+	// take minutes); JSON buffers so the output is one valid array.
+	var results []*exp.Result
+	collect := func(r *exp.Result) {
+		if *asJSON {
+			results = append(results, r)
+			return
+		}
+		fmt.Println(r)
+	}
+
+	ran := false
 	if *ablate != "" {
-		ran := false
 		for _, a := range ablations {
 			if *ablate == "all" || a.key == *ablate {
-				fmt.Println(a.fn(opts))
+				collect(a.fn(opts))
 				ran = true
 			}
 		}
@@ -73,19 +86,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown ablation %q (have: %s, all)\n", *ablate, keys(len(ablations), func(i int) string { return ablations[i].key }))
 			os.Exit(2)
 		}
-		return
-	}
-
-	ran := false
-	for _, f := range figures {
-		if *fig == "" || f.key == *fig {
-			fmt.Println(f.fn(opts))
-			ran = true
+	} else {
+		for _, f := range figures {
+			if *fig == "" || f.key == *fig {
+				collect(f.fn(opts))
+				ran = true
+			}
+		}
+		if !ran {
+			fmt.Fprintf(os.Stderr, "unknown figure %q (have: %s)\n", *fig, keys(len(figures), func(i int) string { return figures[i].key }))
+			os.Exit(2)
 		}
 	}
-	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (have: %s)\n", *fig, keys(len(figures), func(i int) string { return figures[i].key }))
-		os.Exit(2)
+
+	if *asJSON {
+		if err := exp.WriteJSON(os.Stdout, results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -1,0 +1,69 @@
+// Command chronos-track runs the streaming multi-device tracking
+// campaigns built on internal/track: tracking error against target
+// speed, fix latency as bands stream into the incremental estimator, and
+// capacity against concurrent tracked clients.
+//
+//	chronos-track                    # run every tracking campaign
+//	chronos-track -campaign speed    # one campaign (speed,latency,capacity)
+//	chronos-track -trials 8 -seed 7  # scale and reseed
+//	chronos-track -workers 4         # bound the trial worker pool
+//	chronos-track -json              # machine-readable output
+//
+// Campaign trials are seeded per trial, so tables are byte-identical for
+// a given -seed regardless of -workers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"chronos/internal/exp"
+)
+
+var campaigns = []struct {
+	key string
+	fn  func(exp.Options) *exp.Result
+}{
+	{"speed", exp.TrackSpeed},
+	{"latency", exp.TrackLatency},
+	{"capacity", exp.TrackCapacity},
+}
+
+func main() {
+	campaign := flag.String("campaign", "", "campaign to run (speed,latency,capacity); empty = all")
+	trials := flag.Int("trials", 0, "trials per condition (0 = campaign default)")
+	seed := flag.Int64("seed", 1, "campaign seed")
+	workers := flag.Int("workers", 0, "campaign worker-pool size (0 = all cores)")
+	asJSON := flag.Bool("json", false, "emit results as JSON instead of text tables")
+	flag.Parse()
+
+	opts := exp.Options{Seed: *seed, Trials: *trials, Workers: *workers}
+
+	var results []*exp.Result
+	for _, c := range campaigns {
+		if *campaign == "" || c.key == *campaign {
+			results = append(results, c.fn(opts))
+		}
+	}
+	if len(results) == 0 {
+		keys := make([]string, len(campaigns))
+		for i, c := range campaigns {
+			keys[i] = c.key
+		}
+		fmt.Fprintf(os.Stderr, "unknown campaign %q (have: %s)\n", *campaign, strings.Join(keys, ","))
+		os.Exit(2)
+	}
+
+	if *asJSON {
+		if err := exp.WriteJSON(os.Stdout, results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, r := range results {
+		fmt.Println(r)
+	}
+}

@@ -1,6 +1,8 @@
 // Package exp is the evaluation harness: one function per figure of the
 // paper's §12, each regenerating the corresponding table or series from
-// the simulated testbed. The cmd/chronos-bench binary, the top-level Go
+// the simulated testbed, plus the streaming tracking campaigns
+// (TrackSpeed, TrackLatency, TrackCapacity) built on internal/track. The
+// cmd/chronos-bench and cmd/chronos-track binaries, the top-level Go
 // benchmarks, and EXPERIMENTS.md all drive these functions, so the
 // numbers reported everywhere come from a single implementation.
 //
@@ -55,11 +57,11 @@ func (o Options) withDefaults(defTrials int) Options {
 
 // Result is a regenerated table or series.
 type Result struct {
-	ID      string
-	Title   string
-	Header  []string
-	Rows    [][]string
-	Metrics map[string]float64 // headline numbers, keyed for EXPERIMENTS.md
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Header  []string           `json:"header"`
+	Rows    [][]string         `json:"rows"`
+	Metrics map[string]float64 `json:"metrics"` // headline numbers, keyed for EXPERIMENTS.md
 }
 
 // String renders the result as an aligned text table.
@@ -146,16 +148,7 @@ func runToFCampaign(o Options, campaignID string, office *sim.Office, cfg tof.Co
 }
 
 // pickBands returns the band list matching the estimator mode.
-func pickBands(cfg tof.Config) []wifi.Band {
-	switch cfg.Mode {
-	case tof.Bands5GHzOnly:
-		return wifi.Bands5GHz()
-	case tof.Bands24Only:
-		return wifi.Bands24GHz()
-	default:
-		return wifi.USBands()
-	}
-}
+func pickBands(cfg tof.Config) []wifi.Band { return tof.BandsFor(cfg) }
 
 // defaultToFConfig is the evaluation configuration used across figures:
 // quirked radios (faithful to the Intel 5300), 5 GHz profile inversion

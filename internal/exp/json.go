@@ -1,0 +1,16 @@
+package exp
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// WriteJSON renders campaign results as an indented JSON array so the
+// tables the binaries print are also machine-readable (the BENCH_*.json
+// trajectory). The encoding is the Result struct verbatim: id, title,
+// header, rows, and the headline metrics map.
+func WriteJSON(w io.Writer, results []*Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

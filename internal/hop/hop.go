@@ -88,6 +88,100 @@ type SweepResult struct {
 	Visits    []BandVisit
 	Announces int // total announce frames sent (incl. retransmissions)
 	FailSafes int
+	// RevertTime is the total virtual time lost to fail-safe reverts: the
+	// silence window plus the retune back to the default band before the
+	// announcement restarts there.
+	RevertTime time.Duration
+}
+
+// Hopper drives the transmitter-side hop state machine for one device
+// pair on an externally owned simulator, so several pairs can interleave
+// their hops on one virtual timeline (internal/track's multi-client
+// scheduler) while Sweep remains the single-pair convenience wrapper.
+//
+// A Hopper is bound to its simulator and RNG and is not safe for
+// concurrent use; interleaving is achieved by event ordering on the
+// shared Sim, never by goroutines.
+type Hopper struct {
+	Sim  *mac.Sim
+	Rng  *rand.Rand
+	Cfg  Config // effective (defaulted) configuration
+	Link *mac.Link
+
+	// Counters accumulate across every Hop on this pair.
+	Announces  int
+	FailSafes  int
+	RevertTime time.Duration
+}
+
+// NewHopper builds a hop driver for one device pair on sim.
+func NewHopper(sim *mac.Sim, rng *rand.Rand, cfg Config) *Hopper {
+	cfg = cfg.withDefaults()
+	return &Hopper{
+		Sim: sim, Rng: rng, Cfg: cfg,
+		Link: &mac.Link{Sim: sim, Latency: cfg.Latency, Rng: rng, LossProb: cfg.LossProb},
+	}
+}
+
+// SwitchDelay draws one radio retune time (base switch time plus
+// jitter). Exported so schedulers layering on the Hopper charge retunes
+// from the same model the hop protocol uses.
+func (h *Hopper) SwitchDelay() time.Duration {
+	return h.Cfg.SwitchTime + time.Duration(h.Rng.Int63n(int64(h.Cfg.SwitchJitter)+1))
+}
+
+// hopState is the Hop-scoped state shared across announce rounds: an ack
+// that lands after its round already timed out (AckTimeout shorter than
+// the ack round trip) must still complete the hop exactly once, silence
+// every outstanding retry timer, and call off a pending fail-safe revert.
+type hopState struct {
+	acked  bool
+	revert *mac.Timer // pending fail-safe revert, nil when none
+}
+
+// Hop announces the next band to the receiver, retrying lost control
+// frames and applying the fail-safe on retry exhaustion. done runs
+// exactly once, at the virtual instant both radios are on the new band,
+// with the retransmit count of the successful announce round and the
+// number of fail-safe reverts taken along the way.
+func (h *Hopper) Hop(done func(retries, failsafes int)) { h.hop(0, 0, &hopState{}, done) }
+
+// hop runs one announce round.
+func (h *Hopper) hop(retries, failsafes int, st *hopState, done func(retries, failsafes int)) {
+	cfg := h.Cfg
+	if retries > cfg.MaxRetries {
+		// Fail-safe: after a silent window both radios revert to the
+		// default band (one retune) and the transmitter restarts the hop
+		// announcement from there. Counters are charged when the revert
+		// actually happens — a late in-flight ack cancels it.
+		revert := cfg.FailSafe + h.SwitchDelay()
+		st.revert = h.Sim.Schedule(revert, func() {
+			st.revert = nil
+			h.FailSafes++
+			h.RevertTime += revert
+			h.hop(0, failsafes+1, st, done)
+		})
+		return
+	}
+	h.Announces++
+	// Announce → receiver; receiver ACKs → transmitter.
+	h.Link.Send(mac.Frame{Kind: "announce", Payload: 28}, func(mac.Frame) {
+		h.Link.Send(mac.Frame{Kind: "ack", Payload: 14}, func(mac.Frame) {
+			if st.acked {
+				return
+			}
+			st.acked = true
+			st.revert.Cancel()
+			// Both sides retune; the slower radio gates band entry.
+			h.Sim.Schedule(h.SwitchDelay(), func() { done(retries, failsafes) })
+		})
+	})
+	// Retransmit on silence.
+	h.Sim.Schedule(cfg.AckTimeout, func() {
+		if !st.acked {
+			h.hop(retries+1, failsafes, st, done)
+		}
+	})
 }
 
 // Sweep runs the hop protocol across bands once and returns its timing.
@@ -95,69 +189,24 @@ type SweepResult struct {
 func Sweep(rng *rand.Rand, bands []wifi.Band, cfg Config) SweepResult {
 	cfg = cfg.withDefaults()
 	sim := mac.NewSim()
-	link := &mac.Link{Sim: sim, Latency: cfg.Latency, Rng: rng, LossProb: cfg.LossProb}
+	h := NewHopper(sim, rng, cfg)
 
 	res := SweepResult{}
-	var enterTime time.Duration
-
-	// The protocol is sequential (one band at a time), so a recursive
-	// event-driven walk over bands is the clearest encoding of the two
-	// state machines.
 	var visitBand func(i int)
-	var hopTo func(i, retries int)
-
-	// hopTo announces band i to the receiver, retrying on timeout; when
-	// the ACK arrives both radios retune and visitBand(i) runs.
-	hopTo = func(i, retries int) {
-		if i >= len(bands) {
-			return
-		}
-		if retries > cfg.MaxRetries {
-			// Fail-safe: both radios revert to the default band and the
-			// transmitter restarts the hop announcement there. We model
-			// the cost as one fail-safe window before the next attempt.
-			res.FailSafes++
-			if len(res.Visits) > 0 {
-				res.Visits[len(res.Visits)-1].FailSafed = true
-			}
-			sim.Schedule(cfg.FailSafe, func() { hopTo(i, 0) })
-			return
-		}
-		res.Announces++
-		acked := false
-		// Announce → receiver; receiver ACKs → transmitter.
-		link.Send(mac.Frame{Kind: "announce", Payload: 28}, func(mac.Frame) {
-			link.Send(mac.Frame{Kind: "ack", Payload: 14}, func(mac.Frame) {
-				if acked {
-					return
-				}
-				acked = true
-				// Both sides retune; the slower radio gates band entry.
-				sw := cfg.SwitchTime + time.Duration(rng.Int63n(int64(cfg.SwitchJitter)+1))
-				sim.Schedule(sw, func() {
-					if len(res.Visits) > 0 {
-						res.Visits[len(res.Visits)-1].Retries = retries
-					}
-					visitBand(i)
-				})
-			})
-		})
-		// Retransmit on silence.
-		sim.Schedule(cfg.AckTimeout, func() {
-			if !acked {
-				hopTo(i, retries+1)
-			}
-		})
-	}
-
 	visitBand = func(i int) {
-		enterTime = sim.Now()
-		res.Visits = append(res.Visits, BandVisit{Band: bands[i], Enter: enterTime})
+		res.Visits = append(res.Visits, BandVisit{Band: bands[i], Enter: sim.Now()})
 		// Exchange CSI packets for the dwell, then move on.
 		sim.Schedule(cfg.Dwell, func() {
-			res.Visits[len(res.Visits)-1].Leave = sim.Now()
+			v := &res.Visits[len(res.Visits)-1]
+			v.Leave = sim.Now()
 			if i+1 < len(bands) {
-				hopTo(i+1, 0)
+				h.Hop(func(retries, failsafes int) {
+					v.Retries = retries
+					if failsafes > 0 {
+						v.FailSafed = true
+					}
+					visitBand(i + 1)
+				})
 			}
 		})
 	}
@@ -166,6 +215,9 @@ func Sweep(rng *rand.Rand, bands []wifi.Band, cfg Config) SweepResult {
 	visitBand(0)
 	sim.RunAll()
 	res.Duration = sim.Now()
+	res.Announces = h.Announces
+	res.FailSafes = h.FailSafes
+	res.RevertTime = h.RevertTime
 	return res
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"chronos/internal/mac"
 	"chronos/internal/stats"
 	"chronos/internal/wifi"
 )
@@ -110,6 +111,147 @@ func TestSweepScalesWithBandCount(t *testing.T) {
 	// Roughly proportional: 35/10 = 3.5×.
 	if ratio := full / short; ratio < 2.5 || ratio > 4.5 {
 		t.Errorf("scaling ratio = %.2f, want ≈3.5", ratio)
+	}
+}
+
+// TestHopperCleanLinkNoRetries drives the extracted hop state machine
+// directly: on a loss-free link one Hop costs announce + ack + retune and
+// needs neither retries nor fail-safes.
+func TestHopperCleanLinkNoRetries(t *testing.T) {
+	sim := mac.NewSim()
+	h := NewHopper(sim, rand.New(rand.NewSource(20)), Config{LossProb: 1e-12})
+	var gotRetries, gotFailsafes int
+	done := false
+	h.Hop(func(retries, failsafes int) {
+		gotRetries, gotFailsafes = retries, failsafes
+		done = true
+	})
+	sim.RunAll()
+	if !done {
+		t.Fatal("Hop never completed")
+	}
+	if gotRetries != 0 || gotFailsafes != 0 || h.FailSafes != 0 {
+		t.Errorf("clean hop: retries=%d failsafes=%d", gotRetries, gotFailsafes)
+	}
+	if h.Announces != 1 {
+		t.Errorf("announces = %d, want 1", h.Announces)
+	}
+	min := h.Cfg.SwitchTime + 2*h.Cfg.Latency
+	max := min + h.Cfg.SwitchJitter
+	if at := sim.Now(); at < min || at > max {
+		t.Errorf("hop completed at %v, want within [%v, %v]", at, min, max)
+	}
+}
+
+// TestHopperLostAnnounceRetries exercises the lost-announce/lost-ack
+// retransmission path: with heavy loss a single hop needs multiple
+// announce rounds but still completes.
+func TestHopperLostAnnounceRetries(t *testing.T) {
+	sim := mac.NewSim()
+	h := NewHopper(sim, rand.New(rand.NewSource(21)), Config{LossProb: 0.6})
+	completed := 0
+	for i := 0; i < 20; i++ {
+		h.Hop(func(retries, failsafes int) { completed++ })
+		sim.RunAll()
+	}
+	if completed != 20 {
+		t.Fatalf("completed %d/20 hops", completed)
+	}
+	if h.Announces <= 20 {
+		t.Errorf("announces = %d over 20 hops at 60%% loss — retransmissions missing", h.Announces)
+	}
+}
+
+// TestHopperRetryExhaustionFailSafe forces retry exhaustion (MaxRetries=1
+// under heavy loss) and checks the fail-safe: the hop still completes,
+// fail-safes are counted, and each one charges at least the silence
+// window plus a retune to RevertTime.
+func TestHopperRetryExhaustionFailSafe(t *testing.T) {
+	sim := mac.NewSim()
+	cfg := Config{LossProb: 0.8, MaxRetries: 1}
+	h := NewHopper(sim, rand.New(rand.NewSource(22)), cfg)
+	var failsafesSeen int
+	for i := 0; i < 30; i++ {
+		h.Hop(func(retries, failsafes int) {
+			if retries > h.Cfg.MaxRetries {
+				t.Errorf("done reported %d retries > MaxRetries %d", retries, h.Cfg.MaxRetries)
+			}
+			failsafesSeen += failsafes
+		})
+		sim.RunAll()
+	}
+	if h.FailSafes == 0 {
+		t.Fatal("no fail-safes at 80% loss with MaxRetries=1")
+	}
+	if failsafesSeen != h.FailSafes {
+		t.Errorf("done callbacks reported %d fail-safes, counter says %d", failsafesSeen, h.FailSafes)
+	}
+	minRevert := time.Duration(h.FailSafes) * (h.Cfg.FailSafe + h.Cfg.SwitchTime)
+	if h.RevertTime < minRevert {
+		t.Errorf("RevertTime = %v, want ≥ %v (%d reverts)", h.RevertTime, minRevert, h.FailSafes)
+	}
+}
+
+// TestHopperCompletesOnceWithShortAckTimeout pins single-completion when
+// AckTimeout is shorter than the ack round trip: the first round's ack
+// lands after its retry timer fired, so a superseded round's ack must
+// complete the hop exactly once and silence the outstanding retries.
+func TestHopperCompletesOnceWithShortAckTimeout(t *testing.T) {
+	sim := mac.NewSim()
+	// Round trip = 2 × 60 µs = 120 µs > AckTimeout 100 µs: every round
+	// times out before its own ack can arrive.
+	cfg := Config{AckTimeout: 100 * time.Microsecond, LossProb: 1e-12}
+	h := NewHopper(sim, rand.New(rand.NewSource(25)), cfg)
+	for i := 0; i < 10; i++ {
+		completions := 0
+		h.Hop(func(retries, failsafes int) { completions++ })
+		sim.RunAll()
+		if completions != 1 {
+			t.Fatalf("hop %d completed %d times, want exactly 1", i, completions)
+		}
+	}
+}
+
+// TestSweepRevertToDefaultBandAccounting checks the fail-safe path at the
+// sweep level: reverting to the default band shows up in RevertTime, the
+// abandoned visits are flagged, and the sweep still covers every band.
+func TestSweepRevertToDefaultBandAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	res := Sweep(rng, wifi.USBands()[:8], Config{LossProb: 0.85, MaxRetries: 2})
+	if res.FailSafes == 0 {
+		t.Fatal("no fail-safes triggered at 85% loss")
+	}
+	if res.RevertTime < time.Duration(res.FailSafes)*(20*time.Millisecond) {
+		t.Errorf("RevertTime = %v for %d fail-safes, want ≥ %d × FailSafe window",
+			res.RevertTime, res.FailSafes, res.FailSafes)
+	}
+	if res.RevertTime >= res.Duration {
+		t.Errorf("RevertTime %v exceeds sweep duration %v", res.RevertTime, res.Duration)
+	}
+	failSafed := 0
+	for _, v := range res.Visits {
+		if v.FailSafed {
+			failSafed++
+		}
+	}
+	if failSafed == 0 {
+		t.Error("no visit flagged FailSafed despite fail-safes")
+	}
+	if len(res.Visits) < 8 {
+		t.Errorf("sweep did not recover all bands: %d visits", len(res.Visits))
+	}
+}
+
+// TestSweepCleanLinkNoReverts pins the inverse: without losses the
+// fail-safe machinery must stay silent.
+func TestSweepCleanLinkNoReverts(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	res := Sweep(rng, wifi.USBands(), Config{LossProb: 1e-12})
+	if res.FailSafes != 0 || res.RevertTime != 0 {
+		t.Errorf("clean sweep reverted: failsafes=%d revert=%v", res.FailSafes, res.RevertTime)
+	}
+	if res.Announces != len(wifi.USBands())-1 {
+		t.Errorf("announces = %d, want one per hop (%d)", res.Announces, len(wifi.USBands())-1)
 	}
 }
 

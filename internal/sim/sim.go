@@ -169,23 +169,31 @@ type LinkConfig struct {
 	Quirk bool    // radios exhibit the 2.4 GHz quirk (default matches radios)
 }
 
-// NewLink instantiates two fresh radios over the placement's channel.
-// SNR degrades gently with distance to model the §12.1 observation that
-// error grows at longer ranges.
-func (o *Office) NewLink(rng *rand.Rand, p Placement, cfg LinkConfig) *csi.Link {
-	if cfg.SNRdB == 0 {
-		cfg.SNRdB = 28
+// LinkSNR is the office link budget: the base per-subcarrier SNR degrades
+// gently with distance (the §12.1 observation that error grows at longer
+// ranges) and drops further through obstructions. baseSNRdB of 0 means
+// the default 28 dB. Shared by NewLink and the streaming tracking
+// sessions so both evaluate on the same budget.
+func LinkSNR(baseSNRdB, dist float64, nlos bool) float64 {
+	if baseSNRdB == 0 {
+		baseSNRdB = 28
 	}
-	tx, rx := csi.NewRadio(rng), csi.NewRadio(rng)
-	tx.Quirk24, rx.Quirk24 = cfg.Quirk, cfg.Quirk
-	snr := cfg.SNRdB - 10*math.Log10(math.Max(p.TrueDistance(), 1))
-	if p.NLOS {
+	snr := baseSNRdB - 10*math.Log10(math.Max(dist, 1))
+	if nlos {
 		snr -= 4
 	}
+	return snr
+}
+
+// NewLink instantiates two fresh radios over the placement's channel,
+// with the LinkSNR budget applied at the placement's distance.
+func (o *Office) NewLink(rng *rand.Rand, p Placement, cfg LinkConfig) *csi.Link {
+	tx, rx := csi.NewRadio(rng), csi.NewRadio(rng)
+	tx.Quirk24, rx.Quirk24 = cfg.Quirk, cfg.Quirk
 	return &csi.Link{
 		TX: tx, RX: rx,
 		Channel: o.Channel(p, 5.5e9),
-		SNRdB:   snr,
+		SNRdB:   LinkSNR(cfg.SNRdB, p.TrueDistance(), p.NLOS),
 	}
 }
 

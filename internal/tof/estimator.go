@@ -103,7 +103,8 @@ func (c Config) withDefaults() Config {
 // band-group signature.
 //
 // Concurrency contract: an Estimator is NOT safe for concurrent use —
-// Estimate populates the matrix cache lazily, and Calibrate temporarily
+// Estimate (and the incremental Sweep accumulator) populates the matrix
+// cache lazily, and Calibrate temporarily
 // rewrites Config.CalibrationOffset. Callers that fan work out over
 // goroutines must give each concurrent trial its own Estimator; a
 // sync.Pool of estimators (as internal/exp's campaign engine uses)
@@ -152,37 +153,85 @@ type bandMeas struct {
 	power int
 }
 
+// Sweep accumulates one band sweep incrementally: CSI pairs are folded
+// in band by band as the hopping protocol delivers them, and an estimate
+// can be requested at any point — a degraded early fix from a partial
+// band set, or the full-resolution fix the moment the last band lands.
+// The batch Estimator.Estimate is a thin wrapper over this type.
+//
+// A Sweep borrows its parent Estimator's NDFT-matrix cache and therefore
+// inherits its concurrency contract: neither the Sweep nor its Estimator
+// may be used from more than one goroutine at a time. Each distinct
+// partial band set inverted by an early Estimate call builds (and caches)
+// its own matrices, so callers should take early fixes at a few fixed
+// checkpoints rather than after every band.
+type Sweep struct {
+	est  *Estimator
+	meas []bandMeas
+}
+
+// NewSweep starts an empty sweep accumulator on this estimator.
+func (e *Estimator) NewSweep() *Sweep { return &Sweep{est: e} }
+
+// AddBand folds the CSI pairs captured on one band into the sweep. Bands
+// with no pairs, and bands excluded by the estimator's Mode, are ignored.
+func (s *Sweep) AddBand(b wifi.Band, pairs []csi.Pair) error {
+	e := s.est
+	if len(pairs) == 0 {
+		return nil
+	}
+	quirked := IsQuirked(b, e.cfg.Quirk24)
+	if e.cfg.Mode == BandsAllCoherent && quirked {
+		return errors.New("tof: BandsAllCoherent requires quirk-free radios")
+	}
+	switch e.cfg.Mode {
+	case Bands5GHzOnly:
+		if b.GHz24() {
+			return nil
+		}
+	case Bands24Only:
+		if !b.GHz24() {
+			return nil
+		}
+	}
+	v, power, err := BandValue(pairs, quirked, e.cfg.Interp, e.cfg.ForwardOnly)
+	if err != nil {
+		return err
+	}
+	s.meas = append(s.meas, bandMeas{freq: b.Center, value: v, power: power})
+	return nil
+}
+
+// Bands returns the number of usable band measurements folded in so far.
+func (s *Sweep) Bands() int { return len(s.meas) }
+
+// Reset discards the accumulated measurements so the Sweep can accumulate
+// the next band cycle without reallocating.
+func (s *Sweep) Reset() { s.meas = s.meas[:0] }
+
+// Estimate inverts the bands folded in so far. It may be called more than
+// once per sweep: a call before the sweep completes yields an early fix
+// whose resolution is limited by the partial frequency span.
+func (s *Sweep) Estimate() (*Estimate, error) { return s.est.estimate(s.meas) }
+
 // Estimate processes one full sweep: sweep[i] holds the CSI pairs
-// captured on bands[i].
+// captured on bands[i]. It is the batch entry point over the incremental
+// Sweep core.
 func (e *Estimator) Estimate(bands []wifi.Band, sweep [][]csi.Pair) (*Estimate, error) {
 	if len(bands) != len(sweep) {
 		return nil, fmt.Errorf("tof: %d bands but %d sweep entries", len(bands), len(sweep))
 	}
-	var meas []bandMeas
+	s := e.NewSweep()
 	for i, b := range bands {
-		if len(sweep[i]) == 0 {
-			continue
-		}
-		quirked := IsQuirked(b, e.cfg.Quirk24)
-		if e.cfg.Mode == BandsAllCoherent && quirked {
-			return nil, errors.New("tof: BandsAllCoherent requires quirk-free radios")
-		}
-		switch e.cfg.Mode {
-		case Bands5GHzOnly:
-			if b.GHz24() {
-				continue
-			}
-		case Bands24Only:
-			if !b.GHz24() {
-				continue
-			}
-		}
-		v, power, err := BandValue(sweep[i], quirked, e.cfg.Interp, e.cfg.ForwardOnly)
-		if err != nil {
+		if err := s.AddBand(b, sweep[i]); err != nil {
 			return nil, err
 		}
-		meas = append(meas, bandMeas{freq: b.Center, value: v, power: power})
 	}
+	return s.Estimate()
+}
+
+// estimate runs the grouped inversion over accumulated band measurements.
+func (e *Estimator) estimate(meas []bandMeas) (*Estimate, error) {
 	if len(meas) == 0 {
 		return nil, ErrNoBands
 	}
@@ -388,6 +437,21 @@ func groupKey(freqs []float64, power int) string {
 	// Band groups are static per estimator config; the first/last/len
 	// signature is enough to distinguish them.
 	return fmt.Sprintf("%d:%d:%.0f:%.0f", power, len(freqs), freqs[0], freqs[len(freqs)-1])
+}
+
+// BandsFor returns the band plan a sweep should cover for the config's
+// mode: the subset the estimator will actually use. Callers that drive
+// sweeps (the exp campaigns, the track sessions) share this mapping so a
+// new mode cannot diverge between them.
+func BandsFor(cfg Config) []wifi.Band {
+	switch cfg.Mode {
+	case Bands5GHzOnly:
+		return wifi.Bands5GHz()
+	case Bands24Only:
+		return wifi.Bands24GHz()
+	default:
+		return wifi.USBands()
+	}
 }
 
 func spanOf(freqs []float64) float64 {

@@ -1,0 +1,234 @@
+// Package track is the streaming multi-device tracking subsystem: it
+// turns the per-sweep position/range fixes of the batch pipeline into
+// continuous trajectories. Three layers compose:
+//
+//  1. the incremental estimator core (tof.Sweep) folds CSI in band by
+//     band as the hop protocol delivers it, so a fix is ready the moment
+//     the last band lands — with a degraded early fix available before;
+//  2. per-device constant-velocity Kalman filters (RangeTracker,
+//     PositionTracker) smooth successive fixes and gate out the
+//     profile-ghost outliers of §12.1's CDF tail;
+//  3. a multi-client session scheduler interleaves band-hopping sweeps
+//     across N concurrent devices on the mac/hop virtual-time substrate
+//     and reports aggregate airtime and fix capacity.
+//
+// # Concurrency contract
+//
+// Nothing in this package is safe for concurrent use: trackers carry
+// filter state, sessions own a simulator, and the tof.Estimator a
+// session drives caches NDFT matrices. Callers that fan sessions out
+// over goroutines (internal/exp's campaign engine) must give each
+// concurrent trial its own tracker/session and draw estimators from a
+// sync.Pool, exactly as the batch campaigns do: a session leaves its
+// estimator's configuration as it found it (calibration is restored
+// after the one-time tof.Calibrate; fix offsets are applied externally),
+// so a pooled estimator's matrix cache is reused across one worker's
+// sessions without ever being shared between racing goroutines.
+package track
+
+import (
+	"time"
+
+	"chronos/internal/geo"
+)
+
+// FilterConfig tunes the constant-velocity Kalman filters.
+type FilterConfig struct {
+	// ProcessAccel is the white-acceleration noise density driving the
+	// constant-velocity model, in m/s² (default 0.7 — brisk human motion
+	// changes direction on the order of a second).
+	ProcessAccel float64
+	// MeasSigma is the measurement standard deviation in meters (default
+	// 0.15, the Chronos core ranging error at room scale).
+	MeasSigma float64
+	// Gate is the innovation gate in standard deviations (default 3.5).
+	// Measurements whose normalized innovation exceeds the gate are
+	// rejected as outliers. Set negative to disable gating.
+	Gate float64
+	// MaxRejects bounds consecutive gate rejections before the filter
+	// reinitializes on the next measurement (default 4) — the target may
+	// genuinely have teleported (tracking reacquisition).
+	MaxRejects int
+}
+
+func (c FilterConfig) withDefaults() FilterConfig {
+	if c.ProcessAccel == 0 {
+		c.ProcessAccel = 0.7
+	}
+	if c.MeasSigma == 0 {
+		c.MeasSigma = 0.15
+	}
+	if c.Gate == 0 {
+		c.Gate = 3.5
+	}
+	if c.MaxRejects == 0 {
+		c.MaxRejects = 4
+	}
+	return c
+}
+
+// axis is one dimension of a constant-velocity Kalman filter: state
+// (position p, velocity v) with covariance [[ppp, ppv], [ppv, pvv]].
+type axis struct {
+	p, v          float64
+	ppp, ppv, pvv float64
+}
+
+// init starts the axis at a first measurement with no velocity knowledge.
+func (a *axis) init(z, measVar, velVar float64) {
+	a.p, a.v = z, 0
+	a.ppp, a.ppv, a.pvv = measVar, 0, velVar
+}
+
+// predict propagates the state dt seconds under the CV model with
+// white-acceleration density q²: F = [1 dt; 0 1], Q = q²·[dt³/3 dt²/2;
+// dt²/2 dt].
+func (a *axis) predict(dt, q float64) {
+	if dt <= 0 {
+		return
+	}
+	q2 := q * q
+	a.p += a.v * dt
+	ppp := a.ppp + 2*dt*a.ppv + dt*dt*a.pvv + q2*dt*dt*dt/3
+	ppv := a.ppv + dt*a.pvv + q2*dt*dt/2
+	pvv := a.pvv + q2*dt
+	a.ppp, a.ppv, a.pvv = ppp, ppv, pvv
+}
+
+// innovation returns the measurement residual and its variance.
+func (a *axis) innovation(z, measVar float64) (y, s float64) {
+	return z - a.p, a.ppp + measVar
+}
+
+// update folds measurement z with variance measVar into the state.
+func (a *axis) update(z, measVar float64) {
+	y, s := a.innovation(z, measVar)
+	kp, kv := a.ppp/s, a.ppv/s
+	a.p += kp * y
+	a.v += kv * y
+	ppp := (1 - kp) * a.ppp
+	ppv := (1 - kp) * a.ppv
+	pvv := a.pvv - kv*a.ppv
+	a.ppp, a.ppv, a.pvv = ppp, ppv, pvv
+}
+
+// initVelVar is the velocity variance assigned at (re)initialization:
+// (2 m/s)² covers walking and slow-drone targets.
+const initVelVar = 4.0
+
+// RangeTracker smooths a stream of scalar range fixes (one anchor) with a
+// constant-velocity Kalman filter and innovation gating.
+type RangeTracker struct {
+	cfg     FilterConfig
+	ax      axis
+	primed  bool
+	last    time.Duration
+	rejects int
+	// Rejected counts measurements discarded by the gate over the
+	// tracker's lifetime.
+	Rejected int
+}
+
+// NewRangeTracker builds a range tracker.
+func NewRangeTracker(cfg FilterConfig) *RangeTracker {
+	return &RangeTracker{cfg: cfg.withDefaults()}
+}
+
+// Observe folds one range fix taken at virtual time at and returns the
+// smoothed range plus whether the measurement was accepted by the gate.
+func (t *RangeTracker) Observe(at time.Duration, r float64) (float64, bool) {
+	c := t.cfg
+	mv := c.MeasSigma * c.MeasSigma
+	if !t.primed {
+		t.ax.init(r, mv, initVelVar)
+		t.primed, t.last = true, at
+		return r, true
+	}
+	t.ax.predict((at - t.last).Seconds(), c.ProcessAccel)
+	t.last = at
+	if y, s := t.ax.innovation(r, mv); c.Gate > 0 && y*y > c.Gate*c.Gate*s {
+		t.rejects++
+		if t.rejects > c.MaxRejects {
+			// Reacquire: too many consecutive rejections means the model
+			// lost the target, not that the measurements are wrong. This
+			// measurement is accepted (it seeds the new state), so it does
+			// not count toward Rejected.
+			t.ax.init(r, mv, initVelVar)
+			t.rejects = 0
+			return r, true
+		}
+		t.Rejected++
+		return t.ax.p, false
+	}
+	t.ax.update(r, mv)
+	t.rejects = 0
+	return t.ax.p, true
+}
+
+// Range returns the current smoothed range estimate.
+func (t *RangeTracker) Range() float64 { return t.ax.p }
+
+// Velocity returns the current radial-velocity estimate in m/s.
+func (t *RangeTracker) Velocity() float64 { return t.ax.v }
+
+// PositionTracker smooths a stream of 2D position fixes (e.g. from the
+// loc trilateration engine) with two decoupled constant-velocity axes
+// and a joint innovation gate.
+type PositionTracker struct {
+	cfg     FilterConfig
+	x, y    axis
+	primed  bool
+	last    time.Duration
+	rejects int
+	// Rejected counts measurements discarded by the gate.
+	Rejected int
+}
+
+// NewPositionTracker builds a position tracker.
+func NewPositionTracker(cfg FilterConfig) *PositionTracker {
+	return &PositionTracker{cfg: cfg.withDefaults()}
+}
+
+// Observe folds one position fix at virtual time at and returns the
+// smoothed position plus whether the fix passed the gate.
+func (t *PositionTracker) Observe(at time.Duration, p geo.Point) (geo.Point, bool) {
+	c := t.cfg
+	mv := c.MeasSigma * c.MeasSigma
+	if !t.primed {
+		t.x.init(p.X, mv, initVelVar)
+		t.y.init(p.Y, mv, initVelVar)
+		t.primed, t.last = true, at
+		return p, true
+	}
+	dt := (at - t.last).Seconds()
+	t.x.predict(dt, c.ProcessAccel)
+	t.y.predict(dt, c.ProcessAccel)
+	t.last = at
+	yx, sx := t.x.innovation(p.X, mv)
+	yy, sy := t.y.innovation(p.Y, mv)
+	// Joint Mahalanobis gate over both axes (the filter axes are
+	// decoupled, so the innovation covariance is diagonal).
+	if c.Gate > 0 && yx*yx/sx+yy*yy/sy > c.Gate*c.Gate {
+		t.rejects++
+		if t.rejects > c.MaxRejects {
+			// Reacquisition: the seeding measurement is accepted, so it
+			// does not count toward Rejected.
+			t.x.init(p.X, mv, initVelVar)
+			t.y.init(p.Y, mv, initVelVar)
+			t.rejects = 0
+			return p, true
+		}
+		t.Rejected++
+		return t.Position(), false
+	}
+	t.x.update(p.X, mv)
+	t.y.update(p.Y, mv)
+	t.rejects = 0
+	return t.Position(), true
+}
+
+// Position returns the current smoothed position.
+func (t *PositionTracker) Position() geo.Point { return geo.Point{X: t.x.p, Y: t.y.p} }
+
+// Velocity returns the current velocity estimate in m/s per axis.
+func (t *PositionTracker) Velocity() geo.Point { return geo.Point{X: t.x.v, Y: t.y.v} }

@@ -1,0 +1,162 @@
+package track
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"chronos/internal/geo"
+)
+
+// noisyRange draws a Chronos-like range fix: tight Gaussian core with
+// occasional heavy-tail profile-ghost outliers.
+func noisyRange(rng *rand.Rand, truth, sigma, outlierProb, outlierMag float64) float64 {
+	m := truth + rng.NormFloat64()*sigma
+	if rng.Float64() < outlierProb {
+		if rng.Float64() < 0.5 {
+			m -= outlierMag
+		} else {
+			m += outlierMag
+		}
+	}
+	return m
+}
+
+// TestRangeTrackerSmoothsMovingTarget is the subsystem's acceptance
+// criterion: over a moving-target scenario the Kalman-smoothed error must
+// come in below the raw per-sweep fix error.
+func TestRangeTrackerSmoothsMovingTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := NewRangeTracker(FilterConfig{})
+
+	// Target recedes at 0.9 m/s with gentle speed modulation; fixes
+	// arrive at the ≈84 ms sweep cadence with 12 cm core noise and 5%
+	// ±3.75 m ghosts (the §12.1 CDF tail).
+	const dt = 84 * time.Millisecond
+	var rawSq, smoothSq float64
+	n := 400
+	for i := 0; i < n; i++ {
+		at := time.Duration(i) * dt
+		ts := at.Seconds()
+		truth := 3 + 0.9*ts + 0.3*math.Sin(ts/2)
+		meas := noisyRange(rng, truth, 0.12, 0.05, 3.75)
+		smoothed, _ := tr.Observe(at, meas)
+		rawSq += (meas - truth) * (meas - truth)
+		smoothSq += (smoothed - truth) * (smoothed - truth)
+	}
+	raw := math.Sqrt(rawSq / float64(n))
+	smooth := math.Sqrt(smoothSq / float64(n))
+	if smooth >= raw {
+		t.Fatalf("smoothed RMSE %.3f m not below raw %.3f m", smooth, raw)
+	}
+	// The ghosts dominate the raw RMSE; gating should remove nearly all
+	// of them, leaving a large margin.
+	if smooth > raw/2 {
+		t.Errorf("smoothed RMSE %.3f m, want < half of raw %.3f m", smooth, raw)
+	}
+	if tr.Rejected == 0 {
+		t.Error("gate rejected no outliers despite 5% ghost rate")
+	}
+}
+
+// TestRangeTrackerTracksVelocity checks the constant-velocity state
+// converges to the target's true radial speed.
+func TestRangeTrackerTracksVelocity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := NewRangeTracker(FilterConfig{})
+	const dt = 100 * time.Millisecond
+	for i := 0; i < 200; i++ {
+		at := time.Duration(i) * dt
+		truth := 2 + 1.2*at.Seconds()
+		tr.Observe(at, truth+rng.NormFloat64()*0.1)
+	}
+	if v := tr.Velocity(); math.Abs(v-1.2) > 0.25 {
+		t.Errorf("velocity estimate = %.2f m/s, want ≈1.2", v)
+	}
+}
+
+// TestRangeTrackerReacquires checks the MaxRejects escape hatch: a target
+// that genuinely jumps (reacquisition after a tracking gap) must not be
+// gated out forever.
+func TestRangeTrackerReacquires(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := NewRangeTracker(FilterConfig{MaxRejects: 3})
+	const dt = 100 * time.Millisecond
+	at := time.Duration(0)
+	for i := 0; i < 50; i++ {
+		tr.Observe(at, 4+rng.NormFloat64()*0.05)
+		at += dt
+	}
+	// The target teleports 8 m away and stays there.
+	var lastAccepted bool
+	var last float64
+	for i := 0; i < 10; i++ {
+		last, lastAccepted = tr.Observe(at, 12+rng.NormFloat64()*0.05)
+		at += dt
+	}
+	if !lastAccepted {
+		t.Fatal("tracker never reacquired the jumped target")
+	}
+	if math.Abs(last-12) > 0.5 {
+		t.Errorf("post-reacquisition range = %.2f m, want ≈12", last)
+	}
+}
+
+// TestPositionTrackerSmoothsWalk runs the 2D filter over a random-waypoint
+// walk with ghost outliers; the smoothed path must beat the raw fixes.
+func TestPositionTrackerSmoothsWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr := NewPositionTracker(FilterConfig{})
+	const dt = 84 * time.Millisecond
+	pos := geo.Point{X: 2, Y: 3}
+	vel := geo.Point{X: 0.6, Y: -0.4}
+	var rawSq, smoothSq float64
+	n := 300
+	for i := 0; i < n; i++ {
+		at := time.Duration(i) * dt
+		pos = pos.Add(vel.Scale(dt.Seconds()))
+		meas := geo.Point{
+			X: noisyRange(rng, pos.X, 0.12, 0.04, 3.0),
+			Y: noisyRange(rng, pos.Y, 0.12, 0.04, 3.0),
+		}
+		smoothed, _ := tr.Observe(at, meas)
+		rawSq += meas.Sub(pos).Norm() * meas.Sub(pos).Norm()
+		smoothSq += smoothed.Sub(pos).Norm() * smoothed.Sub(pos).Norm()
+	}
+	raw, smooth := math.Sqrt(rawSq/float64(n)), math.Sqrt(smoothSq/float64(n))
+	if smooth >= raw {
+		t.Fatalf("2D smoothed RMSE %.3f m not below raw %.3f m", smooth, raw)
+	}
+	if v := tr.Velocity(); math.Abs(v.X-0.6) > 0.3 || math.Abs(v.Y+0.4) > 0.3 {
+		t.Errorf("velocity = %+v, want ≈(0.6, −0.4)", v)
+	}
+}
+
+// TestTrackerFirstObservationPrimes pins the initialization contract.
+func TestTrackerFirstObservationPrimes(t *testing.T) {
+	tr := NewRangeTracker(FilterConfig{})
+	got, ok := tr.Observe(0, 7.5)
+	if !ok || got != 7.5 {
+		t.Errorf("first observation = (%v, %v), want (7.5, true)", got, ok)
+	}
+	pt := NewPositionTracker(FilterConfig{})
+	p, ok := pt.Observe(0, geo.Point{X: 1, Y: 2})
+	if !ok || p != (geo.Point{X: 1, Y: 2}) {
+		t.Errorf("first 2D observation = (%v, %v)", p, ok)
+	}
+}
+
+// TestTrackerGateDisabled checks Gate < 0 accepts everything.
+func TestTrackerGateDisabled(t *testing.T) {
+	tr := NewRangeTracker(FilterConfig{Gate: -1})
+	tr.Observe(0, 5)
+	for i := 1; i <= 10; i++ {
+		if _, ok := tr.Observe(time.Duration(i)*time.Second, float64(5+i*10)); !ok {
+			t.Fatal("disabled gate rejected a measurement")
+		}
+	}
+	if tr.Rejected != 0 {
+		t.Errorf("Rejected = %d with gate disabled", tr.Rejected)
+	}
+}

@@ -1,0 +1,210 @@
+package track
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"chronos/internal/csi"
+	"chronos/internal/drone"
+	"chronos/internal/geo"
+	"chronos/internal/hop"
+	"chronos/internal/mac"
+	"chronos/internal/sim"
+	"chronos/internal/tof"
+	"chronos/internal/wifi"
+)
+
+// SessionConfig tunes one streaming tracking session: a fixed anchor
+// ranges a walking target through the full CSI → incremental-estimator →
+// Kalman pipeline, sweep after sweep, on the hop protocol's virtual
+// timeline.
+type SessionConfig struct {
+	Hop hop.Config
+	// Speed is the target's walking speed in m/s; 0 pins the target for
+	// a static baseline.
+	Speed float64
+	// Sweeps is the number of full band sweeps to stream (default 6).
+	Sweeps int
+	// PairsPerBand is the CSI pairs captured per band dwell (default 2).
+	PairsPerBand int
+	// NLOS marks the link non-line-of-sight for the whole session.
+	NLOS   bool
+	Filter FilterConfig
+	// EarlyFixBands lists checkpoints (in usable folded bands, ascending)
+	// at which a degraded early fix is also taken mid-sweep. Early fixes
+	// are recorded but not fed to the Kalman filter: before the
+	// off-lattice bands arrive they are ambiguous modulo the band
+	// lattice's 25 ns grating-lobe period.
+	EarlyFixBands []int
+	// RoomW, RoomH bound the target's random-waypoint walk, centered on
+	// the office floor (default 10 × 10 m, clamped to fit).
+	RoomW, RoomH float64
+}
+
+func (c SessionConfig) withDefaults() SessionConfig {
+	if c.Sweeps == 0 {
+		c.Sweeps = 6
+	}
+	if c.PairsPerBand == 0 {
+		c.PairsPerBand = 2
+	}
+	if c.RoomW == 0 {
+		c.RoomW = 10
+	}
+	if c.RoomH == 0 {
+		c.RoomH = 10
+	}
+	return c
+}
+
+// Fix is one streamed tracking output.
+type Fix struct {
+	Device    int
+	At        time.Duration // virtual time the fix was emitted
+	Latency   time.Duration // sweep start → fix
+	Bands     int           // usable bands folded in
+	Range     float64       // raw per-sweep range estimate (m)
+	Smoothed  float64       // Kalman output (m); raw value for early fixes
+	TrueRange float64       // ground-truth anchor–target distance at emission
+	Early     bool
+	Accepted  bool // measurement passed the Kalman gate
+}
+
+// SessionResult is one session's streamed output.
+type SessionResult struct {
+	Fixes      []Fix // final (full-sweep) fixes, one per surviving sweep
+	EarlyFixes []Fix
+	// RawRMSE and SmoothedRMSE compare per-sweep raw estimates and
+	// Kalman-smoothed ranges against ground truth over the final fixes.
+	RawRMSE, SmoothedRMSE float64
+	Rejected              int // fixes discarded by the Kalman gate
+	Duration              time.Duration
+}
+
+// RunSession streams cfg.Sweeps full band sweeps over a moving target in
+// the office and returns the resulting fixes. The session leaves est as
+// it found it: tof.Calibrate briefly rewrites (and restores) the
+// estimator's calibration offset, and the matrix cache warms, but no
+// configuration survives the call — so a sync.Pool'd estimator can be
+// handed to successive sessions of one worker, the same pattern the
+// batch campaigns use, provided each estimator stays confined to one
+// goroutine at a time as its contract already requires.
+func RunSession(rng *rand.Rand, office *sim.Office, est *tof.Estimator, cfg SessionConfig) (*SessionResult, error) {
+	cfg = cfg.withDefaults()
+	bands := tof.BandsFor(est.Config())
+
+	// The target random-waypoint-walks a room centered on the office
+	// floor; the anchor sits at the room's corner.
+	roomW := math.Min(cfg.RoomW, office.Width-2)
+	roomH := math.Min(cfg.RoomH, office.Height-2)
+	roomOrigin := geo.Point{X: (office.Width - roomW) / 2, Y: (office.Height - roomH) / 2}
+	anchor := roomOrigin
+	walk := drone.NewWalk(rng, roomW, roomH)
+	walk.Speed = cfg.Speed
+
+	// Fresh radios for this device pair.
+	tx, rx := csi.NewRadio(rng), csi.NewRadio(rng)
+	quirk := est.Config().Quirk24
+	tx.Quirk24, rx.Quirk24 = quirk, quirk
+	link := &csi.Link{TX: tx, RX: rx}
+
+	// One-time calibration of the pair at a known LOS reference placement
+	// (§7 observation 2), exactly as the batch campaigns calibrate.
+	calP := office.RandomPlacement(rng, 8, false)
+	link.Channel = office.Channel(calP, 5.5e9)
+	link.SNRdB = sim.LinkSNR(0, calP.TrueDistance(), false)
+	calSweep := link.Sweep(rng, bands, 3, 2.4e-3)
+	offset, err := tof.Calibrate(est, bands, calSweep, calP.TrueDistance())
+	if err != nil {
+		return nil, err
+	}
+
+	msim := mac.NewSim()
+	hopper := hop.NewHopper(msim, rng, cfg.Hop)
+	hcfg := hopper.Cfg
+	tracker := NewRangeTracker(cfg.Filter)
+	acc := est.NewSweep()
+	res := &SessionResult{}
+
+	// targetAt advances the walk to virtual time now and returns the
+	// target's office-frame position.
+	walkedTo := 0.0
+	targetAt := func(now time.Duration) geo.Point {
+		if t := now.Seconds(); t > walkedTo {
+			walk.Advance(t - walkedTo)
+			walkedTo = t
+		}
+		p := walk.Pos()
+		return geo.Point{X: roomOrigin.X + p.X, Y: roomOrigin.Y + p.Y}
+	}
+
+	var rawSq, smoothSq float64
+	for sweep := 0; sweep < cfg.Sweeps; sweep++ {
+		acc.Reset()
+		start := msim.Now()
+		checkpoint := 0
+		for bi, b := range bands {
+			// The channel follows the target band by band: motion during
+			// the sweep is exactly what blurs high-speed tracking.
+			pos := targetAt(msim.Now())
+			pl := sim.Placement{TX: anchor, RX: pos, NLOS: cfg.NLOS}
+			link.Channel = office.Channel(pl, 5.5e9)
+			link.SNRdB = sim.LinkSNR(0, pl.TrueDistance(), cfg.NLOS)
+
+			step := hcfg.Dwell.Seconds() / float64(cfg.PairsPerBand+1)
+			pairs := make([]csi.Pair, cfg.PairsPerBand)
+			for pi := range pairs {
+				pairs[pi] = link.MeasurePair(rng, b, msim.Now().Seconds()+float64(pi+1)*step)
+			}
+			msim.Run(msim.Now() + hcfg.Dwell)
+			if err := acc.AddBand(b, pairs); err != nil {
+				return nil, err
+			}
+
+			if checkpoint < len(cfg.EarlyFixBands) && acc.Bands() >= cfg.EarlyFixBands[checkpoint] && bi+1 < len(bands) {
+				if r, err := acc.Estimate(); err == nil {
+					raw := r.Distance - offset*wifi.SpeedOfLight
+					res.EarlyFixes = append(res.EarlyFixes, Fix{
+						At: msim.Now(), Latency: msim.Now() - start, Bands: acc.Bands(),
+						Range: raw, Smoothed: raw,
+						TrueRange: anchor.Dist(targetAt(msim.Now())), Early: true,
+					})
+				}
+				checkpoint++
+			}
+			if bi+1 < len(bands) {
+				hopper.Hop(func(retries, failsafes int) {})
+				msim.RunAll()
+			}
+		}
+
+		if r, err := acc.Estimate(); err == nil {
+			raw := r.Distance - offset*wifi.SpeedOfLight
+			now := msim.Now()
+			truth := anchor.Dist(targetAt(now))
+			smoothed, accepted := tracker.Observe(now, raw)
+			res.Fixes = append(res.Fixes, Fix{
+				At: now, Latency: now - start, Bands: acc.Bands(),
+				Range: raw, Smoothed: smoothed, TrueRange: truth, Accepted: accepted,
+			})
+			rawSq += (raw - truth) * (raw - truth)
+			smoothSq += (smoothed - truth) * (smoothed - truth)
+		}
+		if sweep+1 < cfg.Sweeps {
+			// Hop back to the first band for the next cycle.
+			hopper.Hop(func(retries, failsafes int) {})
+			msim.RunAll()
+		}
+	}
+
+	res.Duration = msim.Now()
+	res.Rejected = tracker.Rejected
+	if n := float64(len(res.Fixes)); n > 0 {
+		res.RawRMSE = math.Sqrt(rawSq / n)
+		res.SmoothedRMSE = math.Sqrt(smoothSq / n)
+	} else {
+		res.RawRMSE, res.SmoothedRMSE = math.NaN(), math.NaN()
+	}
+	return res, nil
+}
