@@ -13,7 +13,9 @@ import (
 	"chronos/internal/dsp"
 	"chronos/internal/exp"
 	"chronos/internal/ndft"
+	"chronos/internal/sim"
 	"chronos/internal/tof"
+	"chronos/internal/track"
 	"chronos/internal/wifi"
 )
 
@@ -153,6 +155,41 @@ func BenchmarkAblationBandModes(b *testing.B) {
 }
 
 // --- Micro-benchmarks for the pipeline's hot kernels ---
+
+// benchSession streams one full-pipeline tracking session per iteration:
+// a static target, eight sweeps, the fused evaluation estimator. The
+// warm variant is the steady state the plan/warm-start architecture
+// targets — every sweep's inversion seeded from the previous fix.
+func benchSession(b *testing.B, warm bool) {
+	b.Helper()
+	office := sim.NewOffice(rand.New(rand.NewSource(7)), sim.OfficeConfig{})
+	cfg := track.SessionConfig{Speed: 0, Sweeps: 8, WarmStart: warm}
+	est := tof.NewEstimator(tof.Config{Mode: tof.BandsFused, Quirk24: true, MaxIter: 1200})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := track.RunSession(rand.New(rand.NewSource(7)), office, est, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Fixes) == 0 {
+			b.Fatal("session produced no fixes")
+		}
+	}
+}
+
+func BenchmarkTrackSessionSteadyState(b *testing.B) { benchSession(b, true) }
+
+func BenchmarkTrackSessionColdStart(b *testing.B) { benchSession(b, false) }
+
+func BenchmarkPerfSolverCampaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.PerfSolver(quick(6))
+		if r.Metrics["iters_warm_static"] <= 0 {
+			b.Fatal("solver snapshot missing warm iterations")
+		}
+	}
+}
 
 func BenchmarkNDFTInvert(b *testing.B) {
 	freqs := wifi.Centers(wifi.Bands5GHz())

@@ -25,35 +25,44 @@ import (
 var figures = []struct {
 	key string
 	fn  func(exp.Options) *exp.Result
+	// explicitOnly excludes a pseudo-figure from the empty -fig "run
+	// everything" loop: the default invocation must keep the documented
+	// byte-identical-per-seed contract, which wall-clock columns break.
+	explicitOnly bool
 }{
-	{"3", exp.Fig3},
-	{"4", exp.Fig4},
-	{"7a", exp.Fig7a},
-	{"7b", exp.Fig7b},
-	{"7c", exp.Fig7c},
-	{"8a", exp.Fig8a},
-	{"8b", exp.Fig8b},
-	{"8c", exp.Fig8c},
-	{"9a", exp.Fig9a},
-	{"9b", exp.Fig9b},
-	{"9c", exp.Fig9c},
-	{"10a", exp.Fig10a},
-	{"10b", exp.Fig10b},
+	{key: "3", fn: exp.Fig3},
+	{key: "4", fn: exp.Fig4},
+	{key: "7a", fn: exp.Fig7a},
+	{key: "7b", fn: exp.Fig7b},
+	{key: "7c", fn: exp.Fig7c},
+	{key: "8a", fn: exp.Fig8a},
+	{key: "8b", fn: exp.Fig8b},
+	{key: "8c", fn: exp.Fig8c},
+	{key: "9a", fn: exp.Fig9a},
+	{key: "9b", fn: exp.Fig9b},
+	{key: "9c", fn: exp.Fig9c},
+	{key: "10a", fn: exp.Fig10a},
+	{key: "10b", fn: exp.Fig10b},
+	// perf is not a paper figure: it snapshots the solver core's cold vs
+	// warm-started iteration counts and latency (the BENCH_baseline.json
+	// trajectory). Its µs columns are wall-clock, so it only runs when
+	// requested explicitly.
+	{key: "perf", fn: exp.PerfSolver, explicitOnly: true},
 }
 
 var ablations = []struct {
 	key string
 	fn  func(exp.Options) *exp.Result
 }{
-	{"bands", exp.AblationBands},
-	{"delay", exp.AblationDelay},
-	{"cfo", exp.AblationCFO},
-	{"sparsity", exp.AblationSparsity},
-	{"separation", exp.AblationSeparation},
+	{key: "bands", fn: exp.AblationBands},
+	{key: "delay", fn: exp.AblationDelay},
+	{key: "cfo", fn: exp.AblationCFO},
+	{key: "sparsity", fn: exp.AblationSparsity},
+	{key: "separation", fn: exp.AblationSeparation},
 }
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate (3,4,7a,7b,7c,8a,8b,8c,9a,9b,9c,10a,10b); empty = all")
+	fig := flag.String("fig", "", "figure to regenerate (3,4,7a,7b,7c,8a,8b,8c,9a,9b,9c,10a,10b, or perf for the solver snapshot); empty = all paper figures (perf runs only when requested — its wall-clock columns are not seed-deterministic)")
 	ablate := flag.String("ablate", "", "ablation to run (bands,delay,cfo,sparsity,separation, or 'all')")
 	trials := flag.Int("trials", 0, "trials per condition (0 = experiment default)")
 	seed := flag.Int64("seed", 1, "campaign seed")
@@ -88,7 +97,7 @@ func main() {
 		}
 	} else {
 		for _, f := range figures {
-			if *fig == "" || f.key == *fig {
+			if f.key == *fig || (*fig == "" && !f.explicitOnly) {
 				collect(f.fn(opts))
 				ran = true
 			}

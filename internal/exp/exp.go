@@ -18,16 +18,18 @@
 // order trials finish — so a campaign's Result is bit-identical for a
 // given seed at any worker count. Shared campaign fixtures (the office
 // floor plan) are generated before the fan-out from their own stream
-// and are read-only during trials; per-worker tof.Estimators come from
-// a sync.Pool because an Estimator's NDFT-matrix cache is not safe for
-// concurrent use.
+// and are read-only during trials. Each trial constructs its own
+// tof.Estimator — a cheap struct, since the expensive NDFT solver plans
+// live in internal/tof's shared concurrency-safe registry and are built
+// once per band-group geometry for the whole process (the sync.Pool of
+// estimators this package once carried existed only to amortize
+// per-estimator matrix caches that no longer exist).
 package exp
 
 import (
 	"fmt"
 	"math/rand"
 	"strings"
-	"sync"
 
 	"chronos/internal/csi"
 	"chronos/internal/sim"
@@ -103,16 +105,14 @@ type tofTrial struct {
 
 // runToFCampaign measures calibrated ToF error over `trials` random
 // placements of each visibility class, fanned out over the worker pool.
-// Each worker draws a tof.Estimator (with its cached NDFT matrices) from
-// a shared pool — the cache is reused across that worker's trials but
-// never shared between concurrent trials; calibration offsets are
-// applied per device pair, as the paper's one-time calibration does.
+// Each trial builds its own tof.Estimator (Calibrate mutates estimator
+// config, so instances cannot be shared between racing trials); all of
+// them resolve NDFT plans from the shared registry, so the dictionaries
+// are built once per band-group geometry, not once per worker.
 func runToFCampaign(o Options, campaignID string, office *sim.Office, cfg tof.Config, trials int, nlos bool, maxDist float64) []tofTrial {
 	bands := pickBands(cfg)
-	estimators := sync.Pool{New: func() any { return tof.NewEstimator(cfg) }}
 	return runTrials(o, campaignID, trials, func(t int, rng *rand.Rand) (tofTrial, bool) {
-		est := estimators.Get().(*tof.Estimator)
-		defer estimators.Put(est)
+		est := tof.NewEstimator(cfg)
 
 		p := office.RandomPlacement(rng, maxDist, nlos)
 		link := office.NewLink(rng, p, sim.LinkConfig{Quirk: cfg.Quirk24})

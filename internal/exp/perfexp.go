@@ -1,0 +1,130 @@
+package exp
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"chronos/internal/dsp"
+	"chronos/internal/ndft"
+	"chronos/internal/stats"
+	"chronos/internal/wifi"
+)
+
+// perfPlan is the fixed solver-snapshot geometry: the fused estimator's
+// h̃² evaluation grid over all U.S. bands, built once per process.
+var perfPlan = sync.OnceValues(func() (*ndft.Plan, error) {
+	return ndft.NewPlan(wifi.Centers(wifi.USBands()), ndft.TauGrid(2*60e-9, 2*0.1e-9))
+})
+
+// PerfSolver characterizes the §6 solver core on the evaluation
+// geometry: cold-start versus warm-started iteration counts and
+// wall-clock per solve, over a simulated tracking steady state (static
+// target, fresh measurement noise each sweep) and a walking target
+// (profile drifts between sweeps). Iteration counts and convergence are
+// deterministic for a given seed; the µs timings are informational and
+// vary by host. The JSON rendering of this campaign is the
+// BENCH_baseline.json perf-trajectory snapshot.
+func PerfSolver(o Options) *Result {
+	o = o.withDefaults(12)
+	if o.Trials < 2 {
+		// The warm column needs at least one seeded sweep (the first has
+		// nothing to warm from); a single trial would leave it empty and
+		// put NaN medians into the JSON output.
+		o.Trials = 2
+	}
+	freqs := wifi.Centers(wifi.USBands())
+	plan, err := perfPlan()
+	if err != nil {
+		panic(err) // static geometry; cannot fail
+	}
+	opts := ndft.InvertOptions{MaxIter: 4000}
+	rng := rand.New(rand.NewSource(o.Seed))
+
+	// measure returns one sweep's h̃² measurement for a direct path at
+	// delay tauNs with two fixed reflections, at ~26 dB SNR.
+	measure := func(tauNs float64) dsp.Vec {
+		h := make(dsp.Vec, len(freqs))
+		delays := []float64{tauNs, tauNs + 4.2, tauNs + 9.5}
+		gains := []float64{1, 0.6, 0.4}
+		for i, f := range freqs {
+			for k := range delays {
+				// h̃² delays are doubled relative to τ.
+				ph := -2 * 2 * math.Pi * f * delays[k] * 1e-9
+				h[i] += dsp.FromPolar(gains[k], ph)
+			}
+			h[i] += complex(rng.NormFloat64()*0.05, rng.NormFloat64()*0.05)
+		}
+		return h
+	}
+
+	type scenario struct {
+		name  string
+		speed float64 // m/s of τ drift applied between sweeps
+	}
+	scenarios := []scenario{
+		{"static", 0},
+		{"walking 1 m/s", 1.0},
+	}
+
+	res := &Result{
+		ID:     "perf-solver",
+		Title:  "Plan.Solve iterations and latency, cold vs warm-started",
+		Header: []string{"scenario", "iters (cold)", "iters (warm)", "µs/solve (cold)", "µs/solve (warm)"},
+	}
+	res.Metrics = map[string]float64{}
+	const sweepDt = 0.084 // seconds per full band sweep (Fig. 9a median)
+	for _, sc := range scenarios {
+		var coldIters, warmIters []float64
+		var coldNs, warmNs float64
+		tauNs := 20.0
+		warmDst, coldDst := &ndft.Result{}, &ndft.Result{}
+		var warmSeed dsp.Vec
+		for s := 0; s < o.Trials; s++ {
+			h := measure(tauNs)
+			t0 := time.Now()
+			cold, err := plan.Solve(h, opts, nil, coldDst)
+			if err != nil {
+				continue
+			}
+			coldNs += float64(time.Since(t0))
+			coldIters = append(coldIters, float64(cold.Iterations))
+			if warmSeed == nil {
+				// The first sweep has nothing to warm from; seed the warm
+				// chain from the cold solve rather than repeating it, and
+				// count only the genuinely seeded sweeps.
+				warmSeed = append(warmSeed, cold.Profile...)
+			} else {
+				t0 = time.Now()
+				warm, err := plan.Solve(h, opts, warmSeed, warmDst)
+				if err != nil {
+					continue
+				}
+				warmNs += float64(time.Since(t0))
+				warmIters = append(warmIters, float64(warm.Iterations))
+				warmSeed = append(warmSeed[:0], warm.Profile...)
+			}
+			// Drift the target between sweeps: c·Δt of radial motion.
+			tauNs += sc.speed * sweepDt / wifi.SpeedOfLight * 1e9
+		}
+		n, wn := float64(len(coldIters)), float64(len(warmIters))
+		if n == 0 || wn == 0 {
+			continue
+		}
+		ci, wi := stats.Median(coldIters), stats.Median(warmIters)
+		res.Rows = append(res.Rows, []string{
+			sc.name, fmtF(ci, 0), fmtF(wi, 0),
+			fmtF(coldNs/n/1e3, 1), fmtF(warmNs/wn/1e3, 1),
+		})
+		key := map[string]string{"static": "static", "walking 1 m/s": "walking"}[sc.name]
+		res.Metrics["iters_cold_"+key] = ci
+		res.Metrics["iters_warm_"+key] = wi
+		res.Metrics["us_per_solve_cold_"+key] = coldNs / n / 1e3
+		res.Metrics["us_per_solve_warm_"+key] = warmNs / wn / 1e3
+		if wi > 0 {
+			res.Metrics["warm_speedup_iters_"+key] = ci / wi
+		}
+	}
+	return res
+}

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"chronos/internal/crt"
 	"chronos/internal/dsp"
@@ -10,6 +11,12 @@ import (
 	"chronos/internal/stats"
 	"chronos/internal/wifi"
 )
+
+// fig4Plan is the fixed Fig. 4 inversion geometry (all U.S. bands, 40 ns
+// grid), built once per process like every other solver plan.
+var fig4Plan = sync.OnceValues(func() (*ndft.Plan, error) {
+	return ndft.NewPlan(wifi.Centers(wifi.USBands()), ndft.TauGrid(40e-9, 0.1e-9))
+})
 
 // Fig3 reproduces the Chinese-remainder illustration: a source at 0.6 m
 // (τ = 2 ns) measured on five bands, solved by phase alignment.
@@ -58,11 +65,11 @@ func Fig4(o Options) *Result {
 			h[i] += dsp.FromPolar(gains[k], math.Mod(-2*math.Pi*f*delays[k], 2*math.Pi))
 		}
 	}
-	mat, err := ndft.NewMatrix(freqs, ndft.TauGrid(40e-9, 0.1e-9))
+	plan, err := fig4Plan()
 	if err != nil {
 		panic(err)
 	}
-	inv, err := mat.Invert(h, ndft.InvertOptions{MaxIter: 4000})
+	inv, err := plan.Solve(h, ndft.InvertOptions{MaxIter: 4000}, nil, nil)
 	if err != nil {
 		panic(err)
 	}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
-	"sync"
 
 	"chronos/internal/stats"
 	"chronos/internal/tof"
@@ -14,22 +13,24 @@ import (
 // trackSessionConfig is the shared full-pipeline session shape for the
 // tracking campaigns: a handful of sweeps per session, driven by the
 // same fused evaluation estimator (defaultToFConfig) as the figures.
+// Sessions warm-start: each sweep's inversion is seeded from the
+// previous fix, the steady-state mode the streaming subsystem is built
+// for (per-session state, so results stay identical at any -workers).
 func trackSessionConfig(speed float64, sweeps int) track.SessionConfig {
-	return track.SessionConfig{Speed: speed, Sweeps: sweeps}
+	return track.SessionConfig{Speed: speed, Sweeps: sweeps, WarmStart: true}
 }
 
 // TrackSpeed measures streaming tracking error against target speed: for
 // each speed, full-pipeline sessions stream sweeps over a walking target
 // and report raw per-sweep RMSE next to the Kalman-smoothed RMSE. Like
 // every campaign it fans trials out over the worker pool with per-trial
-// seeding, and per-worker estimators come from a sync.Pool — the
-// streaming sessions never mutate estimator config, so the pooled
-// NDFT-matrix caches are reused exactly as in the batch campaigns.
+// seeding; each trial gets its own estimator, and all of them share the
+// process-wide NDFT plan registry, so the dictionaries are built once
+// per band-group geometry rather than once per worker.
 func TrackSpeed(o Options) *Result {
 	o = o.withDefaults(4)
 	office := newOffice(o)
 	cfg := defaultToFConfig()
-	estimators := sync.Pool{New: func() any { return tof.NewEstimator(cfg) }}
 	speeds := []float64{0, 0.5, 1.0, 2.0}
 
 	res := &Result{
@@ -46,8 +47,7 @@ func TrackSpeed(o Options) *Result {
 	for _, v := range speeds {
 		campaign := fmt.Sprintf("track-speed/v%.1f", v)
 		runs := runTrials(o, campaign, o.Trials, func(t int, rng *rand.Rand) (out, bool) {
-			est := estimators.Get().(*tof.Estimator)
-			defer estimators.Put(est)
+			est := tof.NewEstimator(cfg)
 			r, err := track.RunSession(rng, office, est, trackSessionConfig(v, 5))
 			if err != nil || len(r.Fixes) == 0 {
 				return out{}, false
@@ -81,7 +81,6 @@ func TrackLatency(o Options) *Result {
 	o = o.withDefaults(3)
 	office := newOffice(o)
 	cfg := defaultToFConfig()
-	estimators := sync.Pool{New: func() any { return tof.NewEstimator(cfg) }}
 	checkpoints := []int{8, 16}
 
 	type fixSample struct {
@@ -90,8 +89,7 @@ func TrackLatency(o Options) *Result {
 		LatencyMS float64
 	}
 	runs := runTrials(o, "track-latency", o.Trials, func(t int, rng *rand.Rand) ([]fixSample, bool) {
-		est := estimators.Get().(*tof.Estimator)
-		defer estimators.Put(est)
+		est := tof.NewEstimator(cfg)
 		scfg := trackSessionConfig(1.0, 3)
 		scfg.EarlyFixBands = checkpoints
 		r, err := track.RunSession(rng, office, est, scfg)

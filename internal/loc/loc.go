@@ -184,9 +184,7 @@ func (l *Localizer) CalibrateArray(rng *rand.Rand, bands []wifi.Band, link *csi.
 		if err != nil {
 			return fmt.Errorf("loc: calibrating antenna %d: %w", i, err)
 		}
-		cfg := l.Estimators[i].Config()
-		cfg.CalibrationOffset = off
-		*l.Estimators[i] = *tof.NewEstimator(cfg)
+		l.Estimators[i].SetCalibrationOffset(off)
 	}
 	return nil
 }
@@ -205,9 +203,7 @@ func (l *Localizer) CalibrateAll(rng *rand.Rand, bands []wifi.Band, links []*csi
 		if err != nil {
 			return fmt.Errorf("loc: calibrating antenna %d: %w", i, err)
 		}
-		cfg := l.Estimators[i].Config()
-		cfg.CalibrationOffset = off
-		*l.Estimators[i] = *tof.NewEstimator(cfg)
+		l.Estimators[i].SetCalibrationOffset(off)
 	}
 	return nil
 }

@@ -4,61 +4,51 @@
 // Transform of the (sparse) path-delay profile; inversion is
 // under-determined, so Algorithm 1 regularizes with an L1 sparsity prior
 // and solves via proximal-gradient iteration (ISTA).
+//
+// The solver core is Plan: a precomputed dictionary (plus adjoint, step
+// size, and pooled scratch state) that is built once per band-group
+// signature and shared across goroutines, with warm-started,
+// allocation-free steady-state solves. Matrix is the historical
+// construct-and-invert entry point, kept as a thin wrapper over Plan.
 package ndft
 
 import (
 	"errors"
-	"fmt"
-	"math"
-	"math/rand"
 
 	"chronos/internal/dsp"
 	"chronos/internal/linalg"
 )
 
+var (
+	errEmptyGrid = errors.New("ndft: empty frequency or delay grid")
+	errZeroNorm  = errors.New("ndft: zero spectral norm")
+)
+
 // Matrix is the n×m non-uniform Fourier matrix F with
 // F[i][k] = e^{−j2π·fᵢ·τₖ}, mapping a delay-domain profile p (length m)
-// to frequency-domain measurements h = F·p (length n).
+// to frequency-domain measurements h = F·p (length n). It is a
+// compatibility wrapper over Plan, which owns the precomputed solver
+// state.
 type Matrix struct {
-	Freqs  []float64 // n measurement frequencies (Hz)
-	Taus   []float64 // m delay-grid points (seconds)
-	F      *linalg.CMatrix
-	gamma  float64 // ISTA step size 1/‖F‖₂²
-	normSq float64 // cached ‖F‖₂²
+	Freqs []float64 // n measurement frequencies (Hz)
+	Taus  []float64 // m delay-grid points (seconds)
+	F     *linalg.CMatrix
+
+	plan *Plan
 }
 
 // NewMatrix builds the NDFT matrix for the given frequencies and delay
 // grid and precomputes the ISTA step size. Construction is O(n·m).
 func NewMatrix(freqs, taus []float64) (*Matrix, error) {
-	n, m := len(freqs), len(taus)
-	if n == 0 || m == 0 {
-		return nil, errors.New("ndft: empty frequency or delay grid")
+	pl, err := NewPlan(freqs, taus)
+	if err != nil {
+		return nil, err
 	}
-	f := linalg.NewCMatrix(n, m)
-	for i, fr := range freqs {
-		row := f.Data[i*m : (i+1)*m]
-		for k, tau := range taus {
-			ph := -2 * math.Pi * fr * tau
-			// Reduce the argument before Sincos: fr·tau can reach 1e1
-			// range but ph magnitudes stay modest; Mod keeps precision.
-			ph = math.Mod(ph, 2*math.Pi)
-			s, c := math.Sincos(ph)
-			row[k] = complex(c, s)
-		}
-	}
-	mat := &Matrix{
-		Freqs: append([]float64(nil), freqs...),
-		Taus:  append([]float64(nil), taus...),
-		F:     f,
-	}
-	norm := f.SpectralNorm(rand.New(rand.NewSource(1)), 40)
-	if norm == 0 {
-		return nil, errors.New("ndft: zero spectral norm")
-	}
-	mat.normSq = norm * norm
-	mat.gamma = 1 / mat.normSq
-	return mat, nil
+	return &Matrix{Freqs: pl.Freqs, Taus: pl.Taus, F: pl.interleaved(), plan: pl}, nil
 }
+
+// Plan returns the underlying solver plan.
+func (m *Matrix) Plan() *Plan { return m.plan }
 
 // TauGrid builds a uniform delay grid [0, maxTau] with the given step,
 // inclusive of both endpoints (within floating-point rounding).
@@ -97,7 +87,7 @@ type InvertOptions struct {
 	// Seed seeds the random initialization of p₀ (Algorithm 1
 	// initializes p₀ randomly). Zero means start from the zero vector,
 	// which is deterministic and converges at least as fast for this
-	// convex objective.
+	// convex objective. Ignored when a warm start is supplied.
 	Seed int64
 	// PlainISTA disables the FISTA momentum and α-continuation
 	// refinements and runs Algorithm 1 exactly as printed in the paper.
@@ -127,6 +117,11 @@ type Result struct {
 	Iterations int
 	Converged  bool
 	Residual   float64 // ‖h − F·p‖₂ at termination
+	// Work counts grid cells processed across all iterations (a dense
+	// solve costs Iterations×grid; restricted warm solves cost less per
+	// iteration). Callers use it to compare warm against cold solves on
+	// actual cost rather than raw iteration counts.
+	Work int64
 }
 
 // Invert runs Algorithm 1: proximal-gradient (ISTA) iterations
@@ -135,108 +130,10 @@ type Result struct {
 //
 // until ‖p_{t+1} − p_t‖ < ε or MaxIter. The returned profile's magnitude
 // is the multipath profile of Fig. 4(b); its first dominant peak is the
-// direct path.
+// direct path. It is a cold-start, freshly-allocated convenience over
+// Plan.Solve.
 func (m *Matrix) Invert(h dsp.Vec, opts InvertOptions) (*Result, error) {
-	n, mm := len(m.Freqs), len(m.Taus)
-	if len(h) != n {
-		return nil, fmt.Errorf("ndft: measurement length %d != %d frequencies", len(h), n)
-	}
-	opts = opts.withDefaults(h)
-
-	// Default α: a fraction of the largest correlation between the
-	// measurement and any single atom, the standard LASSO scaling
-	// (α_max = ‖Fᴴh‖∞ zeroes the whole profile; we default to 10%).
-	alpha := opts.Alpha
-	if alpha == 0 {
-		scale := opts.AlphaScale
-		if scale == 0 {
-			scale = 1
-		}
-		alpha = 0.1 * scale * dsp.NormInf(mustCorr(m, h))
-	}
-
-	p := make(dsp.Vec, mm)
-	if opts.Seed != 0 {
-		rng := rand.New(rand.NewSource(opts.Seed))
-		for i := range p {
-			p[i] = complex(rng.NormFloat64(), rng.NormFloat64()) * complex(dsp.Norm2(h)/float64(mm), 0)
-		}
-	}
-
-	prev := make(dsp.Vec, mm)
-	resid := make(dsp.Vec, n)
-	grad := make(dsp.Vec, mm)
-	y := p.Clone() // FISTA extrapolation point
-
-	// α-continuation: start with a large threshold that admits only the
-	// strongest atoms and decay toward the target α. This steers the
-	// iterate into the basin of the sparse global optimum before fine
-	// fitting begins — important because the non-uniform band lattice
-	// makes the dictionary highly coherent (strong grating lobes).
-	curAlpha := alpha
-	if !opts.PlainISTA {
-		if corr := dsp.NormInf(mustCorr(m, h)); corr > alpha {
-			curAlpha = corr * 0.5
-		}
-	}
-	tMom := 1.0
-
-	res := &Result{Taus: m.Taus}
-	for iter := 1; iter <= opts.MaxIter; iter++ {
-		copy(prev, p)
-		src := p
-		if !opts.PlainISTA {
-			src = y
-		}
-		// resid = F·src − h̃
-		m.F.MulVec(resid, src)
-		dsp.Sub(resid, resid, h)
-		// grad = Fᴴ·resid
-		m.F.MulVecH(grad, resid)
-		// p ← SPARSIFY(src − γ·grad, γα)
-		copy(p, src)
-		dsp.AXPY(p, complex(-m.gamma, 0), grad)
-		dsp.SoftThreshold(p, m.gamma*curAlpha)
-
-		if !opts.PlainISTA {
-			// Nesterov momentum.
-			tNext := (1 + math.Sqrt(1+4*tMom*tMom)) / 2
-			beta := complex((tMom-1)/tNext, 0)
-			for i := range y {
-				y[i] = p[i] + beta*(p[i]-prev[i])
-			}
-			tMom = tNext
-			// Decay the continuation threshold toward the target α.
-			if curAlpha > alpha {
-				curAlpha *= 0.97
-				if curAlpha < alpha {
-					curAlpha = alpha
-				}
-			}
-		}
-
-		dsp.Sub(prev, p, prev)
-		res.Iterations = iter
-		if dsp.Norm2(prev) < opts.Epsilon && curAlpha == alpha {
-			res.Converged = true
-			break
-		}
-	}
-
-	m.F.MulVec(resid, p)
-	dsp.Sub(resid, resid, h)
-	res.Residual = dsp.Norm2(resid)
-	res.Profile = p
-	res.Magnitude = dsp.Abs(make([]float64, mm), p)
-	return res, nil
-}
-
-// mustCorr computes Fᴴ·h, the correlation of the measurement with every
-// dictionary atom (used for α scaling).
-func mustCorr(m *Matrix, h dsp.Vec) dsp.Vec {
-	corr := make(dsp.Vec, len(m.Taus))
-	m.F.MulVecH(corr, h)
-	return corr
+	return m.plan.Solve(h, opts, nil, nil)
 }
 
 // FirstPeakDelay extracts the direct-path delay from an inversion result:

@@ -1,0 +1,5 @@
+//go:build !race
+
+package ndft
+
+const raceEnabled = false

@@ -1,0 +1,553 @@
+package ndft
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"chronos/internal/dsp"
+	"chronos/internal/linalg"
+)
+
+// Plan is the precomputed, reusable form of one NDFT inversion problem:
+// the dictionary F for a fixed (freqs, taus) pair, its conjugate
+// transpose laid out row-major so the adjoint product streams through
+// memory, and the Lipschitz/step constants Algorithm 1 needs. A Plan is
+// built once per band-group signature and shared: Solve is safe for
+// concurrent use (scratch vectors live in an internal pool, one set per
+// in-flight solve), and steady-state solves allocate nothing, so the
+// per-sweep hot path of the streaming trackers and the campaign worker
+// pool never rebuild or reallocate solver state.
+//
+// Both the dictionary and the iterate vectors are stored as split
+// real/imaginary float64 slices ("planar" layout). The solver's inner
+// products then run on independent scalar accumulator chains, which the
+// interleaved complex128 representation would serialize.
+type Plan struct {
+	Freqs []float64 // n measurement frequencies (Hz)
+	Taus  []float64 // m delay-grid points (seconds)
+
+	n, m int
+	// The conjugate-transpose dictionary Fᴴ (m×n), row-major planar. It
+	// is the only stored form: the adjoint product walks its rows, and
+	// the forward product walks the same rows as conjugated columns of
+	// F, so no separate forward copy is kept.
+	fhRe, fhIm []float64
+
+	normSq float64 // ‖F‖₂²
+	gamma  float64 // ISTA step size 1/‖F‖₂²
+
+	// allIdx is [0, m): the full-grid iteration set, shared by every
+	// dense solve so restricted and dense paths run the same loops.
+	allIdx []int
+
+	ws sync.Pool // *workspace
+}
+
+// interleaved rebuilds the complex form of F from the stored adjoint
+// (F[i][k] = conj(Fᴴ[k][i])) — only the Matrix compatibility wrapper
+// needs it, so plans resolved through a registry never carry an extra
+// forward copy in any layout.
+func (pl *Plan) interleaved() *linalg.CMatrix {
+	n, m := pl.n, pl.m
+	f := linalg.NewCMatrix(n, m)
+	for i := 0; i < n; i++ {
+		for k := 0; k < m; k++ {
+			f.Data[i*m+k] = complex(pl.fhRe[k*n+i], -pl.fhIm[k*n+i])
+		}
+	}
+	return f
+}
+
+// workspace is the per-solve scratch state: every vector Algorithm 1
+// touches, preallocated at plan dimensions so iterations are
+// allocation-free.
+type workspace struct {
+	hRe, hIm       []float64 // measurement, planar (n)
+	residRe, resIm []float64 // F·src − h̃ (n)
+	pRe, pIm       []float64 // iterate (m)
+	prevRe, prevIm []float64 // previous iterate (m)
+	yRe, yIm       []float64 // FISTA extrapolation point (m)
+	active         []int     // support of the extrapolation point (≤ m)
+	idx            []int     // restricted working set for warm solves (≤ m)
+}
+
+// NewPlan precomputes the NDFT dictionary, its adjoint, and the ISTA
+// step size for the given frequencies and delay grid. Construction is
+// O(n·m) plus a short power iteration; amortize it through a registry
+// (see internal/tof) rather than per solve.
+func NewPlan(freqs, taus []float64) (*Plan, error) {
+	n, m := len(freqs), len(taus)
+	if n == 0 || m == 0 {
+		return nil, errEmptyGrid
+	}
+	pl := &Plan{
+		Freqs: append([]float64(nil), freqs...),
+		Taus:  append([]float64(nil), taus...),
+		n:     n, m: m,
+		fhRe: make([]float64, n*m), fhIm: make([]float64, n*m),
+	}
+	f := linalg.NewCMatrix(n, m)
+	for i, fr := range freqs {
+		for k, tau := range taus {
+			ph := -2 * math.Pi * fr * tau
+			// Reduce the argument before Sincos: fr·tau can reach 1e1
+			// range but ph magnitudes stay modest; Mod keeps precision.
+			ph = math.Mod(ph, 2*math.Pi)
+			s, c := math.Sincos(ph)
+			f.Data[i*m+k] = complex(c, s)
+			// Adjoint row k, column i: conj(F[i][k]).
+			pl.fhRe[k*n+i], pl.fhIm[k*n+i] = c, -s
+		}
+	}
+	// f is used only for the power iteration below and then released;
+	// the planar adjoint is the plan's dictionary.
+	pl.allIdx = make([]int, m)
+	for j := range pl.allIdx {
+		pl.allIdx[j] = j
+	}
+	norm := f.SpectralNorm(rand.New(rand.NewSource(1)), 40)
+	if norm == 0 {
+		return nil, errZeroNorm
+	}
+	pl.normSq = norm * norm
+	pl.gamma = 1 / pl.normSq
+	pl.ws.New = func() any {
+		return &workspace{
+			hRe: make([]float64, n), hIm: make([]float64, n),
+			residRe: make([]float64, n), resIm: make([]float64, n),
+			pRe: make([]float64, m), pIm: make([]float64, m),
+			prevRe: make([]float64, m), prevIm: make([]float64, m),
+			yRe: make([]float64, m), yIm: make([]float64, m),
+			active: make([]int, 0, m), idx: make([]int, 0, m),
+		}
+	}
+	return pl, nil
+}
+
+// Dims returns the plan's (frequency, delay-grid) dimensions.
+func (pl *Plan) Dims() (n, m int) { return pl.n, pl.m }
+
+// Gamma returns the precomputed ISTA step size 1/‖F‖₂².
+func (pl *Plan) Gamma() float64 { return pl.gamma }
+
+// warmDilate is the working-set dilation radius, in grid cells, around
+// each warm-start support cell: peaks may drift this far between solves
+// (several cells covers walking-speed motion and noise wander on the
+// default grids) without leaving the restricted set. Drifts beyond the
+// set are caught by the KKT check and fall back to a full solve.
+const warmDilate = 8
+
+// kktSlack is the multiplicative tolerance on the LASSO optimality bound
+// |Fᴴ(F·p−h̃)| ≤ α when auditing grid cells excluded from a restricted
+// solve; an excluded cell marginally above α would carry a negligible
+// coefficient, so a small slack avoids needless full-grid fallbacks.
+const kktSlack = 1.02
+
+// Solve runs Algorithm 1 on measurement h. warm, when non-nil, is an
+// initial iterate on the plan's delay grid — typically the previous
+// sweep's converged profile. A warm solve restricts the iteration to a
+// working set (the warm support dilated by warmDilate cells), making
+// each iteration proportional to the support size rather than the grid
+// size; a final full-grid KKT audit proves the excluded atoms inactive,
+// and on violation (the target moved too far) the solver transparently
+// falls back to a cold full-grid solve, so warm and cold starts converge
+// to the same fixed points. dst, when non-nil, is reused for the result
+// (its Profile and Magnitude backing arrays are recycled), making
+// steady-state solves allocation-free; pass nil to allocate a fresh
+// Result. Solve may be called concurrently on one shared Plan.
+func (pl *Plan) Solve(h dsp.Vec, opts InvertOptions, warm dsp.Vec, dst *Result) (*Result, error) {
+	n, m := pl.n, pl.m
+	if len(h) != n {
+		return nil, fmt.Errorf("ndft: measurement length %d != %d frequencies", len(h), n)
+	}
+	if warm != nil && len(warm) != m {
+		return nil, fmt.Errorf("ndft: warm start length %d != %d grid points", len(warm), m)
+	}
+	opts = opts.withDefaults(h)
+
+	w := pl.getWorkspace()
+	defer pl.ws.Put(w)
+	split(w.hRe, w.hIm, h)
+
+	// Fᴴh̃ is needed for the default α scaling and (cold starts) for the
+	// continuation ramp's initial threshold; one pass covers both.
+	var corrInf float64
+	if opts.Alpha == 0 || !opts.PlainISTA {
+		var maxSq float64
+		for j := 0; j < m; j++ {
+			cr, ci := cdot(pl.fhRe[j*n:(j+1)*n], pl.fhIm[j*n:(j+1)*n], w.hRe, w.hIm)
+			if sq := cr*cr + ci*ci; sq > maxSq {
+				maxSq = sq
+			}
+		}
+		corrInf = math.Sqrt(maxSq)
+	}
+	alpha := opts.Alpha
+	if alpha == 0 {
+		scale := opts.AlphaScale
+		if scale == 0 {
+			scale = 1
+		}
+		// Default α: a fraction of the largest correlation between the
+		// measurement and any single atom, the standard LASSO scaling
+		// (α_max = ‖Fᴴh‖∞ zeroes the whole profile; we default to 10%).
+		alpha = 0.1 * scale * corrInf
+	}
+
+	// Initialize the iterate and, for warm starts with a usable support,
+	// the restricted working set.
+	w.active = w.active[:0]
+	idx := pl.allIdx
+	restricted := false
+	if warm != nil {
+		split(w.pRe, w.pIm, warm)
+		for j := 0; j < m; j++ {
+			if w.pRe[j] != 0 || w.pIm[j] != 0 {
+				w.active = append(w.active, j)
+			}
+		}
+		if len(w.active) == 0 {
+			warm = nil // empty seed: run the ordinary cold start
+		} else {
+			w.idx = w.idx[:0]
+			last := -1
+			for _, j := range w.active {
+				lo, hi := j-warmDilate, j+warmDilate
+				if lo <= last {
+					lo = last + 1
+				}
+				if lo < 0 {
+					lo = 0
+				}
+				if hi > m-1 {
+					hi = m - 1
+				}
+				for k := lo; k <= hi; k++ {
+					w.idx = append(w.idx, k)
+				}
+				last = hi
+			}
+			if len(w.idx) < m {
+				idx = w.idx
+				restricted = true
+			}
+		}
+	}
+	if warm == nil {
+		if opts.Seed != 0 {
+			rng := rand.New(rand.NewSource(opts.Seed))
+			s := dsp.Norm2(h) / float64(m)
+			for i := 0; i < m; i++ {
+				w.pRe[i], w.pIm[i] = rng.NormFloat64()*s, rng.NormFloat64()*s
+				w.active = append(w.active, i)
+			}
+		} else {
+			zero(w.pRe)
+			zero(w.pIm)
+		}
+	}
+	copy(w.yRe, w.pRe)
+	copy(w.yIm, w.pIm)
+
+	gamma := pl.gamma
+	if dst == nil {
+		dst = &Result{}
+	}
+	res := dst
+	res.Taus = pl.Taus
+	res.Iterations, res.Converged, res.Work = 0, false, 0
+
+	// iterate runs Algorithm 1 over the grid cells in set (the iterate
+	// must be zero outside it), starting the continuation threshold at
+	// a0; it reports the iterations spent and sets res.Converged.
+	// allowRestart enables the adaptive momentum restart — used only for
+	// restricted working-set solves (see below).
+	iterate := func(set []int, a0 float64, budget int, allowRestart bool) int {
+		curAlpha := a0
+		tMom := 1.0
+		res.Converged = false
+		for iter := 1; iter <= budget; iter++ {
+			copy(w.prevRe, w.pRe)
+			copy(w.prevIm, w.pIm)
+			srcRe, srcIm := w.pRe, w.pIm
+			if !opts.PlainISTA {
+				srcRe, srcIm = w.yRe, w.yIm
+			}
+			// resid = F·src − h̃, accumulated over src's support only: the
+			// soft-thresholded iterate is sparse, so the forward product
+			// touches a few dozen dictionary columns, not the whole grid.
+			// The adjoint rows ARE those columns (conjugated), so the
+			// column walk streams through memory.
+			pl.forwardResid(w, srcRe, srcIm, w.active)
+			// p ← SPARSIFY(src − γ·(Fᴴ·resid), γα), fused per grid cell.
+			// The shrinkage test compares squared magnitudes so the
+			// (dominant) zeroed taps never pay for a square root. The
+			// adjoint dot product is a deliberate manual inline of cdot:
+			// the gradient pass makes m short (length-n) dots per
+			// iteration, and the per-call overhead of the out-of-line
+			// kernel is measurable there (Go does not inline cdot); keep
+			// the two bodies in sync if the kernel changes.
+			thr := gamma * curAlpha
+			thrSq := thr * thr
+			rRe, rIm := w.residRe[:n], w.resIm[:n]
+			for _, j := range set {
+				aRe, aIm := pl.fhRe[j*n:(j+1)*n], pl.fhIm[j*n:(j+1)*n]
+				var gr0, gi0, gr1, gi1 float64
+				i := 0
+				for ; i+2 <= n; i += 2 {
+					ar0, ai0, br0, bi0 := aRe[i], aIm[i], rRe[i], rIm[i]
+					gr0 += ar0*br0 - ai0*bi0
+					gi0 += ar0*bi0 + ai0*br0
+					ar1, ai1, br1, bi1 := aRe[i+1], aIm[i+1], rRe[i+1], rIm[i+1]
+					gr1 += ar1*br1 - ai1*bi1
+					gi1 += ar1*bi1 + ai1*br1
+				}
+				if i < n {
+					gr0 += aRe[i]*rRe[i] - aIm[i]*rIm[i]
+					gi0 += aRe[i]*rIm[i] + aIm[i]*rRe[i]
+				}
+				gr, gi := gr0+gr1, gi0+gi1
+				pr := srcRe[j] - gamma*gr
+				pi := srcIm[j] - gamma*gi
+				if sq := pr*pr + pi*pi; sq <= thrSq { // "<=" also zeroes sq==thrSq==0, avoiding 0/0 below
+					w.pRe[j], w.pIm[j] = 0, 0
+				} else {
+					a := math.Sqrt(sq)
+					sc := (a - thr) / a
+					w.pRe[j], w.pIm[j] = pr*sc, pi*sc
+				}
+			}
+
+			var diffSq float64
+			w.active = w.active[:0]
+			if opts.PlainISTA {
+				for _, j := range set {
+					dr, di := w.pRe[j]-w.prevRe[j], w.pIm[j]-w.prevIm[j]
+					diffSq += dr*dr + di*di
+					if w.pRe[j] != 0 || w.pIm[j] != 0 {
+						w.active = append(w.active, j)
+					}
+				}
+			} else {
+				// Adaptive (gradient) restart, O'Donoghue & Candès: when
+				// the extrapolated step opposes the direction of progress
+				// the momentum has overshot — reset it, turning FISTA's
+				// oscillatory tail into near-linear convergence. Restarts
+				// run only on restricted working-set solves: the grating
+				// lobes of the coherent band lattice make the full-grid
+				// LASSO optimum a degenerate face (mass can sit on an
+				// alias ghost with the same objective), and on the full
+				// grid a restarted trajectory may settle on a ghost vertex
+				// that the sustained-momentum trajectory avoids. A working
+				// set inherited from the previous fix excludes the ghost
+				// family entirely, so restarting there is safe — and it is
+				// what lets warm solves converge in tens of iterations
+				// instead of ringing for hundreds.
+				var gdot float64
+				for _, j := range set {
+					dr, di := w.pRe[j]-w.prevRe[j], w.pIm[j]-w.prevIm[j]
+					diffSq += dr*dr + di*di
+					gdot += (w.yRe[j]-w.pRe[j])*dr + (w.yIm[j]-w.pIm[j])*di
+				}
+				if allowRestart && gdot > 0 && curAlpha == alpha {
+					tMom = 1
+				}
+				tNext := (1 + math.Sqrt(1+4*tMom*tMom)) / 2
+				beta := (tMom - 1) / tNext
+				for _, j := range set {
+					dr, di := w.pRe[j]-w.prevRe[j], w.pIm[j]-w.prevIm[j]
+					w.yRe[j] = w.pRe[j] + beta*dr
+					w.yIm[j] = w.pIm[j] + beta*di
+					if w.yRe[j] != 0 || w.yIm[j] != 0 {
+						w.active = append(w.active, j)
+					}
+				}
+				tMom = tNext
+				// Decay the continuation threshold toward the target α.
+				if curAlpha > alpha {
+					curAlpha *= 0.97
+					if curAlpha < alpha {
+						curAlpha = alpha
+					}
+				}
+			}
+
+			res.Work += int64(len(set))
+			if math.Sqrt(diffSq) < opts.Epsilon && curAlpha == alpha {
+				res.Converged = true
+				return iter
+			}
+		}
+		return budget
+	}
+
+	// finishResid recomputes resid = F·p − h̃ at the current iterate.
+	finishResid := func() {
+		w.active = w.active[:0]
+		for j := 0; j < m; j++ {
+			if w.pRe[j] != 0 || w.pIm[j] != 0 {
+				w.active = append(w.active, j)
+			}
+		}
+		pl.forwardResid(w, w.pRe, w.pIm, w.active)
+	}
+
+	// α-continuation: start with a large threshold that admits only the
+	// strongest atoms and decay toward the target α, steering the iterate
+	// into the basin of the sparse global optimum before fine fitting
+	// begins — important because the non-uniform band lattice makes the
+	// dictionary highly coherent (strong grating lobes). A warm start is
+	// already in that basin and begins at the target α directly.
+	a0 := alpha
+	if !opts.PlainISTA && warm == nil && corrInf > alpha {
+		a0 = corrInf * 0.5
+	}
+	res.Iterations = iterate(idx, a0, opts.MaxIter, restricted)
+	finishResid()
+
+	if restricted {
+		res.Work += int64(m) // the KKT audit is one dense adjoint pass
+	}
+	if restricted && pl.kktViolated(w, alpha) {
+		// The optimum left the working set (the target moved farther than
+		// warmDilate cells between solves): discard the restricted answer
+		// and run the cold full-grid solve, so warm starting can trade
+		// iterations but never the answer.
+		zero(w.pRe)
+		zero(w.pIm)
+		copy(w.yRe, w.pRe)
+		copy(w.yIm, w.pIm)
+		w.active = w.active[:0]
+		a0 = alpha
+		if !opts.PlainISTA && corrInf > alpha {
+			a0 = corrInf * 0.5
+		}
+		res.Iterations += iterate(pl.allIdx, a0, opts.MaxIter, false)
+		finishResid()
+	}
+
+	var resSq float64
+	for i := 0; i < n; i++ {
+		resSq += w.residRe[i]*w.residRe[i] + w.resIm[i]*w.resIm[i]
+	}
+	res.Residual = math.Sqrt(resSq)
+
+	res.Profile = growVec(res.Profile, m)
+	res.Magnitude = growFloats(res.Magnitude, m)
+	for j := 0; j < m; j++ {
+		res.Profile[j] = complex(w.pRe[j], w.pIm[j])
+		res.Magnitude[j] = math.Sqrt(w.pRe[j]*w.pRe[j] + w.pIm[j]*w.pIm[j])
+	}
+	return res, nil
+}
+
+// kktViolated audits the LASSO optimality conditions of a restricted
+// solution over the full grid: every zero coefficient must satisfy
+// |Fᴴ(F·p−h̃)|ⱼ ≤ α (within kktSlack). One full adjoint pass — the cost
+// of a single dense iteration — proves the working set contained the
+// optimum; a violation means the restricted answer must be discarded.
+// Expects w.resid* to hold the residual at the current iterate.
+func (pl *Plan) kktViolated(w *workspace, alpha float64) bool {
+	n, m := pl.n, pl.m
+	limSq := alpha * kktSlack * alpha * kktSlack
+	for j := 0; j < m; j++ {
+		if w.pRe[j] != 0 || w.pIm[j] != 0 {
+			continue
+		}
+		gr, gi := cdot(pl.fhRe[j*n:(j+1)*n], pl.fhIm[j*n:(j+1)*n], w.residRe, w.resIm)
+		if gr*gr+gi*gi > limSq {
+			return true
+		}
+	}
+	return false
+}
+
+// forwardResid computes resid = F·src − h̃ into the workspace, walking
+// only the dictionary columns in src's support (ascending, so the
+// accumulation order — hence the result — is deterministic). Each column
+// F[·][j] is read as the conjugate of adjoint row j, which is contiguous.
+func (pl *Plan) forwardResid(w *workspace, srcRe, srcIm []float64, active []int) {
+	n := pl.n
+	for i := 0; i < n; i++ {
+		w.residRe[i] = -w.hRe[i]
+		w.resIm[i] = -w.hIm[i]
+	}
+	for _, j := range active {
+		cr, ci := srcRe[j], srcIm[j]
+		row := pl.fhRe[j*n : (j+1)*n]
+		rowIm := pl.fhIm[j*n : (j+1)*n]
+		dstRe := w.residRe[:n]
+		dstIm := w.resIm[:n]
+		for i, ar := range row {
+			ai := -rowIm[i] // F[i][j] = conj(Fᴴ[j][i])
+			dstRe[i] += ar*cr - ai*ci
+			dstIm[i] += ar*ci + ai*cr
+		}
+	}
+}
+
+func (pl *Plan) getWorkspace() *workspace { return pl.ws.Get().(*workspace) }
+
+// cdot is the planar complex inner product Σ a[k]·x[k] (no conjugation —
+// the adjoint rows are stored pre-conjugated). Two-way unrolling keeps
+// four independent accumulator chains in flight, hiding scalar add
+// latency; the split is deterministic, so results are identical across
+// runs and worker counts.
+func cdot(aRe, aIm, xRe, xIm []float64) (float64, float64) {
+	k := len(aRe)
+	aIm = aIm[:k]
+	xRe = xRe[:k]
+	xIm = xIm[:k]
+	var sr0, si0, sr1, si1, sr2, si2, sr3, si3 float64
+	i := 0
+	for ; i+4 <= k; i += 4 {
+		ar0, ai0, br0, bi0 := aRe[i], aIm[i], xRe[i], xIm[i]
+		sr0 += ar0*br0 - ai0*bi0
+		si0 += ar0*bi0 + ai0*br0
+		ar1, ai1, br1, bi1 := aRe[i+1], aIm[i+1], xRe[i+1], xIm[i+1]
+		sr1 += ar1*br1 - ai1*bi1
+		si1 += ar1*bi1 + ai1*br1
+		ar2, ai2, br2, bi2 := aRe[i+2], aIm[i+2], xRe[i+2], xIm[i+2]
+		sr2 += ar2*br2 - ai2*bi2
+		si2 += ar2*bi2 + ai2*br2
+		ar3, ai3, br3, bi3 := aRe[i+3], aIm[i+3], xRe[i+3], xIm[i+3]
+		sr3 += ar3*br3 - ai3*bi3
+		si3 += ar3*bi3 + ai3*br3
+	}
+	for ; i < k; i++ {
+		sr0 += aRe[i]*xRe[i] - aIm[i]*xIm[i]
+		si0 += aRe[i]*xIm[i] + aIm[i]*xRe[i]
+	}
+	return (sr0 + sr1) + (sr2 + sr3), (si0 + si1) + (si2 + si3)
+}
+
+// split scatters a complex vector into planar destination slices.
+func split(dstRe, dstIm []float64, v dsp.Vec) {
+	for i, c := range v {
+		dstRe[i], dstIm[i] = real(c), imag(c)
+	}
+}
+
+func zero(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// growVec returns v resized to n elements, reusing its backing array
+// when the capacity allows.
+func growVec(v dsp.Vec, n int) dsp.Vec {
+	if cap(v) >= n {
+		return v[:n]
+	}
+	return make(dsp.Vec, n)
+}
+
+func growFloats(v []float64, n int) []float64 {
+	if cap(v) >= n {
+		return v[:n]
+	}
+	return make([]float64, n)
+}

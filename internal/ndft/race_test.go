@@ -1,0 +1,8 @@
+//go:build race
+
+package ndft
+
+// raceEnabled reports that this test binary was built with the race
+// detector, under which sync.Pool deliberately drops items and the
+// zero-allocation steady-state guarantee cannot be observed.
+const raceEnabled = true

@@ -83,16 +83,22 @@ func TestEstimateCustomGrid(t *testing.T) {
 	}
 }
 
-func TestWindowGridHelper(t *testing.T) {
-	g := windowGrid(1, 2, 0.25)
-	if len(g) != 5 || g[0] != 1 {
-		t.Errorf("grid = %v", g)
+func TestEstimateAliasNearZeroCandidate(t *testing.T) {
+	// A target ~26 ns out places the k=−1 alias hypothesis within 2 ns of
+	// zero, exercising the clamped refit window (the canonical [0, 24 ns]
+	// plan with the shift clamped to lo=0). The disambiguation must keep
+	// the true delay, not shift onto the near-zero ghost.
+	rng := rand.New(rand.NewSource(9))
+	link := testLink(rng, 26, nil, false)
+	bands := wifi.Bands5GHz()
+	est := calibrated(t, Config{Mode: Bands5GHzOnly, MaxIter: 1200}, link, rng, bands)
+	sweep := link.Sweep(rng, bands, 3, 2.4e-3)
+	got, err := est.Estimate(bands, sweep)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if g := windowGrid(3, 2, 0.5); len(g) != 1 || g[0] != 3 {
-		t.Errorf("degenerate grid = %v", g)
-	}
-	if g := windowGrid(0, 1, 0); len(g) != 1 {
-		t.Errorf("zero-step grid = %v", g)
+	if e := math.Abs(got.ToF - 26e-9); e > 1e-9 {
+		t.Errorf("near-clamp alias error %v ns", e*1e9)
 	}
 }
 

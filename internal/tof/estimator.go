@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/cmplx"
 
 	"chronos/internal/csi"
 	"chronos/internal/dsp"
@@ -99,31 +100,36 @@ func (c Config) withDefaults() Config {
 }
 
 // Estimator turns band sweeps of CSI pairs into time-of-flight estimates.
-// It caches NDFT matrices, which are expensive to build, keyed by the
-// band-group signature.
+// The expensive solver state (NDFT dictionaries, step constants, scratch
+// buffers) lives in a process-wide plan registry keyed by the band-group
+// signature, so estimators are cheap to construct and every worker,
+// sweep accumulator, and track scheduler that inverts the same geometry
+// shares one precomputed plan.
 //
-// Concurrency contract: an Estimator is NOT safe for concurrent use —
-// Estimate (and the incremental Sweep accumulator) populates the matrix
-// cache lazily, and Calibrate temporarily
-// rewrites Config.CalibrationOffset. Callers that fan work out over
-// goroutines must give each concurrent trial its own Estimator; a
-// sync.Pool of estimators (as internal/exp's campaign engine uses)
-// amortizes the matrix-building cost across one worker's trials without
-// ever sharing a cache between racing goroutines. The matrices
-// themselves are immutable after construction, so read-only structures
-// built from an Estimate result may be shared freely.
+// Concurrency contract: Estimate and the plan registry are safe for
+// concurrent use — an Estimator holds no per-call mutable state, and
+// plan solves synchronize internally. Two exceptions remain
+// single-goroutine: Calibrate temporarily rewrites
+// Config.CalibrationOffset, and a Sweep accumulator (which carries
+// folded measurements and warm-start state) must stay confined to one
+// goroutine at a time.
 type Estimator struct {
-	cfg      Config
-	matrices map[string]*ndft.Matrix
+	cfg   Config
+	plans *planRegistry
 }
 
-// NewEstimator builds an estimator with the given configuration.
+// NewEstimator builds an estimator with the given configuration. All
+// estimators share the process-wide plan registry.
 func NewEstimator(cfg Config) *Estimator {
-	return &Estimator{cfg: cfg.withDefaults(), matrices: make(map[string]*ndft.Matrix)}
+	return &Estimator{cfg: cfg.withDefaults(), plans: sharedPlans}
 }
 
 // Config returns the estimator's effective (defaulted) configuration.
 func (e *Estimator) Config() Config { return e.cfg }
+
+// SetCalibrationOffset installs a measured hardware-chain offset (the
+// value Calibrate returns) without rebuilding the estimator.
+func (e *Estimator) SetCalibrationOffset(off float64) { e.cfg.CalibrationOffset = off }
 
 // Profile is a multipath profile expressed in true time-of-flight units
 // (the channel-power scaling has been divided out).
@@ -159,19 +165,103 @@ type bandMeas struct {
 // band set, or the full-resolution fix the moment the last band lands.
 // The batch Estimator.Estimate is a thin wrapper over this type.
 //
-// A Sweep borrows its parent Estimator's NDFT-matrix cache and therefore
-// inherits its concurrency contract: neither the Sweep nor its Estimator
-// may be used from more than one goroutine at a time. Each distinct
-// partial band set inverted by an early Estimate call builds (and caches)
-// its own matrices, so callers should take early fixes at a few fixed
-// checkpoints rather than after every band.
+// A Sweep carries mutable per-stream state (folded measurements and,
+// when warm starts are enabled, the last converged profile per power
+// group) and must stay confined to one goroutine at a time. Each
+// distinct partial band set inverted by an early Estimate call resolves
+// (and registers) its own plans, so callers should take early fixes at a
+// few fixed checkpoints rather than after every band.
 type Sweep struct {
 	est  *Estimator
 	meas []bandMeas
+	// warm enables warm-started inversions: each inversion geometry's
+	// converged profile seeds the next Estimate of that geometry,
+	// surviving Reset so consecutive band cycles of a tracking stream
+	// start from the previous fix. State is keyed by the full plan key —
+	// not just the power group — so the partial band sets of early fixes
+	// and the full sweep each keep their own seed and cold baseline.
+	warm       bool
+	warmGroups map[planKey]*warmGroup
+}
+
+// warmGroup is one power group's warm-start state and its measured
+// efficacy. Warm starting helps when the optimum barely moves between
+// solves (coarse grids, static targets) and can cost extra iterations
+// when per-sweep noise shifts the fine-grid support; rather than guess,
+// the sweep compares each warm solve's actual solver work against the
+// group's cold baseline and permanently reverts a group to cold starts
+// the first time a warm solve fails to pay for itself.
+type warmGroup struct {
+	profile  dsp.Vec
+	coldWork int64 // solver work of the group's last cold solve
+	off      bool  // warm starting measured unprofitable for this group
+}
+
+// observe folds one solve's outcome into the group's policy.
+func (g *warmGroup) observe(warmed bool, res *ndft.Result) {
+	if g.off {
+		return // reverted to cold starts; nothing to maintain
+	}
+	if !warmed {
+		g.coldWork = res.Work
+		if res.Converged {
+			g.store(res.Profile)
+		} else {
+			g.profile = g.profile[:0]
+		}
+		return
+	}
+	if res.Converged && res.Work < g.coldWork {
+		g.store(res.Profile)
+		return
+	}
+	g.off = true
+	g.profile = nil
+}
+
+// store retains a converged profile, reusing the backing array.
+func (g *warmGroup) store(profile dsp.Vec) {
+	if cap(g.profile) < len(profile) {
+		g.profile = make(dsp.Vec, len(profile))
+	}
+	g.profile = g.profile[:len(profile)]
+	copy(g.profile, profile)
 }
 
 // NewSweep starts an empty sweep accumulator on this estimator.
 func (e *Estimator) NewSweep() *Sweep { return &Sweep{est: e} }
+
+// SetWarmStart toggles warm-started inversions on this sweep stream:
+// when enabled, each Estimate seeds Algorithm 1 from the previous
+// converged profile of the same band group, cutting steady-state
+// iterations dramatically on slowly-moving targets. The solver's fixed
+// points do not depend on the start, so warm and cold fixes agree within
+// the convergence tolerance; results remain deterministic for a given
+// measurement stream. Disabling also drops any retained profiles.
+func (s *Sweep) SetWarmStart(on bool) {
+	s.warm = on
+	if !on {
+		s.warmGroups = nil
+	}
+}
+
+// warmState returns (creating on demand) the warm policy state for one
+// inversion geometry, or nil when warm starting is disabled on this
+// sweep.
+func (s *Sweep) warmState(key planKey) *warmGroup {
+	if !s.warm {
+		return nil
+	}
+	if s.warmGroups == nil {
+		s.warmGroups = make(map[planKey]*warmGroup, 2)
+	}
+	g := s.warmGroups[key]
+	if g == nil {
+		g = &warmGroup{}
+		s.warmGroups[key] = g
+	}
+	return g
+}
 
 // AddBand folds the CSI pairs captured on one band into the sweep. Bands
 // with no pairs, and bands excluded by the estimator's Mode, are ignored.
@@ -206,13 +296,14 @@ func (s *Sweep) AddBand(b wifi.Band, pairs []csi.Pair) error {
 func (s *Sweep) Bands() int { return len(s.meas) }
 
 // Reset discards the accumulated measurements so the Sweep can accumulate
-// the next band cycle without reallocating.
+// the next band cycle without reallocating. Warm-start profiles survive a
+// Reset — carrying the previous cycle's fix forward is their purpose.
 func (s *Sweep) Reset() { s.meas = s.meas[:0] }
 
 // Estimate inverts the bands folded in so far. It may be called more than
 // once per sweep: a call before the sweep completes yields an early fix
 // whose resolution is limited by the partial frequency span.
-func (s *Sweep) Estimate() (*Estimate, error) { return s.est.estimate(s.meas) }
+func (s *Sweep) Estimate() (*Estimate, error) { return s.est.estimate(s) }
 
 // Estimate processes one full sweep: sweep[i] holds the CSI pairs
 // captured on bands[i]. It is the batch entry point over the incremental
@@ -230,8 +321,10 @@ func (e *Estimator) Estimate(bands []wifi.Band, sweep [][]csi.Pair) (*Estimate, 
 	return s.Estimate()
 }
 
-// estimate runs the grouped inversion over accumulated band measurements.
-func (e *Estimator) estimate(meas []bandMeas) (*Estimate, error) {
+// estimate runs the grouped inversion over a sweep's accumulated band
+// measurements.
+func (e *Estimator) estimate(s *Sweep) (*Estimate, error) {
+	meas := s.meas
 	if len(meas) == 0 {
 		return nil, ErrNoBands
 	}
@@ -261,7 +354,7 @@ func (e *Estimator) estimate(meas []bandMeas) (*Estimate, error) {
 			freqs[i] = m.freq
 			h[i] = m.value
 		}
-		prof, err := e.invertGroup(freqs, h, power)
+		prof, err := e.invertGroup(freqs, h, power, s)
 		if err != nil {
 			return nil, err
 		}
@@ -340,33 +433,53 @@ func (e *Estimator) firstPeakWindowed(prof *Profile) (float64, bool) {
 	return strongest.X, true
 }
 
+// aliasWindow is the width of the disambiguation refit window in τ:
+// [cand−2 ns, cand+22 ns]. 24 ns < the 25 ns alias period, so the window
+// holds at most one hypothesis.
+const aliasWindow = 24e-9
+
 // disambiguateAlias resolves which grating-lobe hypothesis the first peak
 // belongs to. For each shift k·AliasPeriod around the candidate, it refits
 // the measurements on a delay window shorter than one alias period; the
 // displaced hypotheses fit the on-lattice channels but rotate the
 // off-lattice channels, so the true hypothesis has the smallest residual.
+//
+// All hypotheses share one canonical window plan from the registry:
+// fitting on the grid [lo, lo+W] equals fitting the phase-rotated
+// measurement h·e^{+j2πf·lo} on [0, W] (a delay shift is a per-frequency
+// rotation, which preserves the residual norm), so the window plan is
+// built once per band-group geometry instead of per hypothesis per call.
+// When a candidate sits within 2 ns of zero the shift clamps to lo=0 and
+// the fixed-width window [0, W] extends slightly past cand+22 ns; the
+// extra atoms stay inside one alias period (W = 24 ns < 25 ns), so the
+// window still holds at most one hypothesis.
 func (e *Estimator) disambiguateAlias(freqs []float64, h dsp.Vec, power int, tau float64) float64 {
 	pf := float64(power)
+	key := newPlanKey(freqs, power, aliasWindow, e.cfg.GridStep)
+	key.window = true
+	plan, err := e.plans.planFor(key, func() (*ndft.Plan, error) {
+		return ndft.NewPlan(freqs, ndft.TauGrid(pf*aliasWindow, pf*e.cfg.GridStep))
+	})
+	if err != nil {
+		return tau
+	}
+	rot := make(dsp.Vec, len(h))
+	dst := &ndft.Result{}
 	resids := map[int]float64{}
 	for k := -1; k <= 1; k++ {
 		cand := tau + float64(k)*e.cfg.AliasPeriod
 		if cand < -1e-9 || cand > e.cfg.MaxTau {
 			continue
 		}
-		// Window [cand−2 ns, cand+22 ns] in τ, scaled into the h̃ᵖ delay
-		// domain; 24 ns < the 25 ns alias period, so the window holds at
-		// most one hypothesis.
 		lo := (cand - 2e-9) * pf
 		if lo < 0 {
 			lo = 0
 		}
-		hi := (cand + 22e-9) * pf
-		taus := windowGrid(lo, hi, pf*e.cfg.GridStep)
-		mat, err := ndft.NewMatrix(freqs, taus)
-		if err != nil {
-			continue
+		for i, f := range freqs {
+			ph := math.Mod(2*math.Pi*f*lo, 2*math.Pi)
+			rot[i] = h[i] * cmplx.Rect(1, ph)
 		}
-		res, err := mat.Invert(h, ndft.InvertOptions{Alpha: e.cfg.Alpha, MaxIter: 600})
+		res, err := plan.Solve(rot, ndft.InvertOptions{Alpha: e.cfg.Alpha, MaxIter: 600}, nil, dst)
 		if err != nil {
 			continue
 		}
@@ -388,55 +501,44 @@ func (e *Estimator) disambiguateAlias(freqs []float64, h dsp.Vec, power int, tau
 	return tau + float64(bestK)*e.cfg.AliasPeriod
 }
 
-// windowGrid builds a uniform grid over [lo, hi] with the given step.
-func windowGrid(lo, hi, step float64) []float64 {
-	if step <= 0 || hi <= lo {
-		return []float64{lo}
-	}
-	var out []float64
-	for t := lo; t <= hi; t += step {
-		out = append(out, t)
-	}
-	return out
-}
-
 // invertGroup runs Algorithm 1 for one power group and rescales the
-// resulting profile from the h̃ᵖ delay domain back to true τ.
-func (e *Estimator) invertGroup(freqs []float64, h dsp.Vec, power int) (*Profile, error) {
-	key := groupKey(freqs, power)
-	mat, ok := e.matrices[key]
-	if !ok {
+// resulting profile from the h̃ᵖ delay domain back to true τ. The plan
+// for the group's geometry comes from the shared registry; the sweep
+// supplies (and retains) the warm-start profile when enabled.
+func (e *Estimator) invertGroup(freqs []float64, h dsp.Vec, power int, s *Sweep) (*Profile, error) {
+	key := newPlanKey(freqs, power, e.cfg.MaxTau, e.cfg.GridStep)
+	plan, err := e.plans.planFor(key, func() (*ndft.Plan, error) {
 		// The h̃ᵖ profile lives on delays that are sums of p path delays,
 		// so the grid must span p·MaxTau. Keep the column count constant
 		// by scaling the step too: resolution in τ is preserved after
 		// division by p.
 		taus := ndft.TauGrid(float64(power)*e.cfg.MaxTau, float64(power)*e.cfg.GridStep)
-		var err error
-		mat, err = ndft.NewMatrix(freqs, taus)
-		if err != nil {
-			return nil, err
-		}
-		e.matrices[key] = mat
-	}
-	res, err := mat.Invert(h, ndft.InvertOptions{
-		Alpha:      e.cfg.Alpha,
-		AlphaScale: e.cfg.AlphaFactor,
-		MaxIter:    e.cfg.MaxIter,
+		return ndft.NewPlan(freqs, taus)
 	})
 	if err != nil {
 		return nil, err
+	}
+	g := s.warmState(key)
+	var warm dsp.Vec
+	if g != nil && !g.off && len(g.profile) == len(plan.Taus) {
+		warm = g.profile
+	}
+	res, err := plan.Solve(h, ndft.InvertOptions{
+		Alpha:      e.cfg.Alpha,
+		AlphaScale: e.cfg.AlphaFactor,
+		MaxIter:    e.cfg.MaxIter,
+	}, warm, nil)
+	if err != nil {
+		return nil, err
+	}
+	if g != nil {
+		g.observe(warm != nil, res)
 	}
 	taus := make([]float64, len(res.Taus))
 	for i, t := range res.Taus {
 		taus[i] = t / float64(power)
 	}
 	return &Profile{Taus: taus, Magnitude: res.Magnitude, Power: power}, nil
-}
-
-func groupKey(freqs []float64, power int) string {
-	// Band groups are static per estimator config; the first/last/len
-	// signature is enough to distinguish them.
-	return fmt.Sprintf("%d:%d:%.0f:%.0f", power, len(freqs), freqs[0], freqs[len(freqs)-1])
 }
 
 // BandsFor returns the band plan a sweep should cover for the config's

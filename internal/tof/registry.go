@@ -1,0 +1,104 @@
+package tof
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"chronos/internal/ndft"
+)
+
+// planKey is the fixed-size signature of one inversion geometry: the
+// channel power (which fixes the delay-domain scaling), the frequency
+// list (hashed, plus its length so unequal-length collisions are
+// impossible), and the grid parameters that determine the τ lattice. It
+// replaces the fmt-formatted string key the Estimator used to build per
+// cache probe — a comparable struct costs one FNV pass over the
+// frequency bits and no heap traffic.
+type planKey struct {
+	power    int
+	nFreq    int
+	freqHash uint64
+	maxTau   float64
+	gridStep float64
+	// window marks the fixed-width alias-disambiguation geometry, whose
+	// grid parameters could otherwise collide with a main grid's.
+	window bool
+}
+
+func newPlanKey(freqs []float64, power int, maxTau, gridStep float64) planKey {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, f := range freqs {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+		h.Write(b[:])
+	}
+	return planKey{
+		power: power, nFreq: len(freqs), freqHash: h.Sum64(),
+		maxTau: maxTau, gridStep: gridStep,
+	}
+}
+
+// planRegistry shares ndft.Plans across every Estimator that uses it:
+// the exp worker pool, Sweep accumulators, and the multi-device track
+// schedulers all resolve the same band-group signature to one plan
+// instead of rebuilding identical dictionaries per worker. Lookups take
+// a read lock; each key's plan is built exactly once (a sync.Once per
+// entry), with concurrent requesters blocking on the build rather than
+// duplicating it. Plans are immutable and their solves are internally
+// synchronized, so handing one plan to many goroutines is safe.
+//
+// Entries live for the registry's lifetime. The key space is bounded by
+// the distinct (band group, grid) geometries a process uses — a handful
+// per estimator configuration — so there is no eviction.
+type planRegistry struct {
+	mu      sync.RWMutex
+	entries map[planKey]*planEntry
+	builds  atomic.Int64 // dictionary constructions actually performed
+}
+
+type planEntry struct {
+	once sync.Once
+	plan *ndft.Plan
+	err  error
+}
+
+func newPlanRegistry() *planRegistry {
+	return &planRegistry{entries: make(map[planKey]*planEntry)}
+}
+
+// sharedPlans is the process-wide default registry. Every Estimator
+// built by NewEstimator resolves plans here.
+var sharedPlans = newPlanRegistry()
+
+// planFor returns the plan for key, building it via build on first use.
+func (r *planRegistry) planFor(key planKey, build func() (*ndft.Plan, error)) (*ndft.Plan, error) {
+	r.mu.RLock()
+	e := r.entries[key]
+	r.mu.RUnlock()
+	if e == nil {
+		r.mu.Lock()
+		if e = r.entries[key]; e == nil {
+			e = &planEntry{}
+			r.entries[key] = e
+		}
+		r.mu.Unlock()
+	}
+	e.once.Do(func() {
+		r.builds.Add(1)
+		e.plan, e.err = build()
+	})
+	return e.plan, e.err
+}
+
+// size reports how many distinct geometries the registry holds.
+func (r *planRegistry) size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// buildCount reports how many dictionary builds actually ran.
+func (r *planRegistry) buildCount() int64 { return r.builds.Load() }

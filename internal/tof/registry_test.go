@@ -1,0 +1,143 @@
+package tof
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"chronos/internal/ndft"
+	"chronos/internal/wifi"
+)
+
+func TestPlanKeyDistinguishesGeometries(t *testing.T) {
+	freqs := []float64{5.18e9, 5.2e9, 5.22e9}
+	base := newPlanKey(freqs, 2, 60e-9, 0.1e-9)
+	if newPlanKey(freqs, 2, 60e-9, 0.1e-9) != base {
+		t.Error("identical geometry produced different keys")
+	}
+	variants := []planKey{
+		newPlanKey(freqs, 8, 60e-9, 0.1e-9),
+		newPlanKey(freqs[:2], 2, 60e-9, 0.1e-9),
+		newPlanKey([]float64{5.18e9, 5.2e9, 5.24e9}, 2, 60e-9, 0.1e-9),
+		newPlanKey(freqs, 2, 30e-9, 0.1e-9),
+		newPlanKey(freqs, 2, 60e-9, 0.2e-9),
+	}
+	for i, k := range variants {
+		if k == base {
+			t.Errorf("variant %d collided with base key", i)
+		}
+	}
+	window := base
+	window.window = true
+	if window == base {
+		t.Error("window key collided with group key")
+	}
+}
+
+// TestPlanRegistryConcurrentSingleBuild is the registry acceptance test:
+// N goroutines estimating over the same band grid must resolve to one
+// shared plan per geometry, built exactly once, with every goroutine
+// producing the identical estimate. Run under -race this also proves the
+// registry and shared-plan solves are data-race free.
+func TestPlanRegistryConcurrentSingleBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	link := testLink(rng, 9, nil, false)
+	bands := wifi.Bands5GHz()
+	sweep := link.Sweep(rng, bands, 2, 2.4e-3)
+
+	reg := newPlanRegistry()
+	cfg := Config{Mode: Bands5GHzOnly, MaxIter: 600}.withDefaults()
+
+	const workers = 16
+	var wg sync.WaitGroup
+	tofs := make([]float64, workers)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each goroutine gets its own Estimator (the public contract),
+			// all sharing one registry — the exp worker-pool shape.
+			est := &Estimator{cfg: cfg, plans: reg}
+			r, err := est.Estimate(bands, sweep)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			tofs[w] = r.ToF
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatal(errs[w])
+		}
+		if tofs[w] != tofs[0] {
+			t.Errorf("worker %d ToF %v != worker 0 ToF %v", w, tofs[w], tofs[0])
+		}
+	}
+	// One 5 GHz group geometry plus its alias-disambiguation window.
+	if n := reg.size(); n != 2 {
+		t.Errorf("registry holds %d plans, want 2 (group + alias window)", n)
+	}
+	if b := reg.buildCount(); b != 2 {
+		t.Errorf("registry built %d plans for %d workers, want 2", b, workers)
+	}
+}
+
+func TestPlanRegistryCachesErrors(t *testing.T) {
+	reg := newPlanRegistry()
+	key := newPlanKey([]float64{1e9}, 2, 60e-9, 0.1e-9)
+	build := func() (*ndft.Plan, error) { return ndft.NewPlan(nil, nil) }
+	if _, err := reg.planFor(key, build); err == nil {
+		t.Fatal("invalid build succeeded")
+	}
+	if _, err := reg.planFor(key, build); err == nil {
+		t.Fatal("cached error lost")
+	}
+	if b := reg.buildCount(); b != 1 {
+		t.Errorf("failed build ran %d times, want 1", b)
+	}
+}
+
+// TestSweepWarmStartEquivalence pins the upper-layer warm-start contract:
+// a warm-started sweep stream and a cold one over the same measurement
+// cycles must produce matching ToF fixes (within the solver's convergence
+// tolerance, ≪ the 0.1 ns grid step).
+func TestSweepWarmStartEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	link := testLink(rng, 11, nil, false)
+	bands := wifi.Bands5GHz()
+
+	// Both arms fold the identical measurement stream, cycle by cycle.
+	est := NewEstimator(Config{Mode: Bands5GHzOnly, MaxIter: 1200})
+	cold := est.NewSweep()
+	warm := est.NewSweep()
+	warm.SetWarmStart(true)
+
+	for cycle := 0; cycle < 3; cycle++ {
+		sweep := link.Sweep(rng, bands, 2, 2.4e-3)
+		for i, b := range bands {
+			if err := cold.AddBand(b, sweep[i]); err != nil {
+				t.Fatal(err)
+			}
+			if err := warm.AddBand(b, sweep[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rc, err := cold.Estimate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rw, err := warm.Estimate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(rc.ToF - rw.ToF); d > 0.05e-9 {
+			t.Errorf("cycle %d: warm ToF %v differs from cold %v by %v ns", cycle, rw.ToF, rc.ToF, d*1e9)
+		}
+		cold.Reset()
+		warm.Reset()
+	}
+}

@@ -15,15 +15,23 @@
 // # Concurrency contract
 //
 // Nothing in this package is safe for concurrent use: trackers carry
-// filter state, sessions own a simulator, and the tof.Estimator a
-// session drives caches NDFT matrices. Callers that fan sessions out
-// over goroutines (internal/exp's campaign engine) must give each
-// concurrent trial its own tracker/session and draw estimators from a
-// sync.Pool, exactly as the batch campaigns do: a session leaves its
-// estimator's configuration as it found it (calibration is restored
-// after the one-time tof.Calibrate; fix offsets are applied externally),
-// so a pooled estimator's matrix cache is reused across one worker's
-// sessions without ever being shared between racing goroutines.
+// filter state, sessions own a simulator, and a session's tof.Sweep
+// accumulator carries warm-start state. Callers that fan sessions out
+// over goroutines (internal/exp's campaign engine) give each concurrent
+// trial its own tracker/session and its own tof.Estimator — estimators
+// are cheap to construct because the expensive NDFT plans live in a
+// shared, concurrency-safe registry inside internal/tof, warmed once per
+// band-group geometry for the whole process. Per-trial estimators are
+// still required (rather than one shared instance) only because the
+// one-time tof.Calibrate briefly rewrites the estimator's configuration.
+//
+// # Warm-started tracking
+//
+// Steady-state tracking solves a nearly identical inversion sweep after
+// sweep. SessionConfig.WarmStart threads tof.Sweep's warm starts through
+// the streaming pipeline: each sweep's Algorithm 1 iterate starts from
+// the previous fix's converged profile and the solver needs a fraction
+// of the cold iterations while converging to the same fixed points.
 package track
 
 import (

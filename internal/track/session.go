@@ -37,6 +37,12 @@ type SessionConfig struct {
 	// off-lattice bands arrive they are ambiguous modulo the band
 	// lattice's 25 ns grating-lobe period.
 	EarlyFixBands []int
+	// WarmStart seeds each sweep's profile inversion from the previous
+	// sweep's converged profile (tof.Sweep warm starts). On a target that
+	// moves little between sweeps the iterate starts near the new fix and
+	// the solver converges in a fraction of the cold iterations; the
+	// session remains deterministic for a given rng.
+	WarmStart bool
 	// RoomW, RoomH bound the target's random-waypoint walk, centered on
 	// the office floor (default 10 × 10 m, clamped to fit).
 	RoomW, RoomH float64
@@ -85,11 +91,11 @@ type SessionResult struct {
 // RunSession streams cfg.Sweeps full band sweeps over a moving target in
 // the office and returns the resulting fixes. The session leaves est as
 // it found it: tof.Calibrate briefly rewrites (and restores) the
-// estimator's calibration offset, and the matrix cache warms, but no
-// configuration survives the call — so a sync.Pool'd estimator can be
-// handed to successive sessions of one worker, the same pattern the
-// batch campaigns use, provided each estimator stays confined to one
-// goroutine at a time as its contract already requires.
+// estimator's calibration offset, and the shared plan registry warms,
+// but no configuration survives the call. Estimators are cheap to build
+// (solver state lives in the registry), so campaign workers simply
+// construct one per trial; only Calibrate requires the estimator to stay
+// on one goroutine for the duration of the call.
 func RunSession(rng *rand.Rand, office *sim.Office, est *tof.Estimator, cfg SessionConfig) (*SessionResult, error) {
 	cfg = cfg.withDefaults()
 	bands := tof.BandsFor(est.Config())
@@ -125,6 +131,7 @@ func RunSession(rng *rand.Rand, office *sim.Office, est *tof.Estimator, cfg Sess
 	hcfg := hopper.Cfg
 	tracker := NewRangeTracker(cfg.Filter)
 	acc := est.NewSweep()
+	acc.SetWarmStart(cfg.WarmStart)
 	res := &SessionResult{}
 
 	// targetAt advances the walk to virtual time now and returns the
