@@ -136,6 +136,27 @@ func BenchmarkTrackSpeedCampaign(b *testing.B) {
 	}
 }
 
+func BenchmarkAliasRankingCampaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.AliasRanking(quick(4))
+		if r.Metrics["adversarial_ghost_rate_family"] > r.Metrics["adversarial_ghost_rate_vertex"] {
+			b.Fatalf("family ranking ghosts more than vertex: %v > %v",
+				r.Metrics["adversarial_ghost_rate_family"], r.Metrics["adversarial_ghost_rate_vertex"])
+		}
+	}
+}
+
+func BenchmarkPerfAliasCampaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.PerfAlias(quick(8))
+		// The warm-start acceptance criterion: warm alias refits must cost
+		// at most 75% of the cold ones on the static steady state.
+		if ratio := r.Metrics["alias_warm_ratio_static"]; !(ratio > 0) || ratio > 0.75 {
+			b.Fatalf("warm alias-refit ratio %v, want (0, 0.75]", ratio)
+		}
+	}
+}
+
 func BenchmarkAblationDelayCompensation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		exp.AblationDelay(quick(3))

@@ -58,6 +58,26 @@ const (
 	BandsAllCoherent = tof.BandsAllCoherent
 )
 
+// PeakRanking selects how the direct-path peak is extracted from the
+// multipath profile (ToFConfig.Ranking): alias-family ranking (default)
+// or the raw-vertex baseline.
+type PeakRanking = tof.PeakRanking
+
+// Peak-ranking selectors for ToFConfig.Ranking.
+const (
+	RankFamilies = tof.RankFamilies
+	RankVertex   = tof.RankVertex
+)
+
+// PlanRegistryStats is a snapshot of the shared NDFT plan registry's
+// occupancy (resident plans, LRU bound, builds, evictions, bytes).
+type PlanRegistryStats = tof.RegistryStats
+
+// SharedPlanRegistryStats reports the process-wide plan registry every
+// estimator resolves solver plans from — the observability surface for
+// long-running services sweeping many estimator configurations.
+func SharedPlanRegistryStats() PlanRegistryStats { return tof.SharedRegistryStats() }
+
 // ToFEstimator turns CSI band sweeps into sub-nanosecond time-of-flight
 // estimates (§4–§7 of the paper).
 type ToFEstimator = tof.Estimator

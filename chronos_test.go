@@ -131,3 +131,13 @@ func TestFacadeLocalizer(t *testing.T) {
 		t.Errorf("estimators = %d", len(l.Estimators))
 	}
 }
+
+func TestFacadePlanRegistryStats(t *testing.T) {
+	st := SharedPlanRegistryStats()
+	if st.MaxPlans <= 0 {
+		t.Errorf("shared plan registry reports no LRU bound: %+v", st)
+	}
+	if st.Plans < 0 || st.Builds < st.Evictions {
+		t.Errorf("implausible registry counters: %+v", st)
+	}
+}

@@ -48,6 +48,13 @@ var figures = []struct {
 	// trajectory). Its µs columns are wall-clock, so it only runs when
 	// requested explicitly.
 	{key: "perf", fn: exp.PerfSolver, explicitOnly: true},
+	// alias is the alias-resolution ablation (vertex- vs family-ranked
+	// peaks); aliasperf snapshots the alias-refit cost cold vs
+	// warm-started in deterministic Work units (both feed BENCH_4.json).
+	// They are deterministic per seed but not paper figures, so like perf
+	// they run only when requested.
+	{key: "alias", fn: exp.AliasRanking, explicitOnly: true},
+	{key: "aliasperf", fn: exp.PerfAlias, explicitOnly: true},
 }
 
 var ablations = []struct {
@@ -62,7 +69,7 @@ var ablations = []struct {
 }
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate (3,4,7a,7b,7c,8a,8b,8c,9a,9b,9c,10a,10b, or perf for the solver snapshot); empty = all paper figures (perf runs only when requested — its wall-clock columns are not seed-deterministic)")
+	fig := flag.String("fig", "", "comma-separated figures to regenerate (3,4,7a,7b,7c,8a,8b,8c,9a,9b,9c,10a,10b, plus the pseudo-figures perf, alias, aliasperf); empty = all paper figures (pseudo-figures run only when requested)")
 	ablate := flag.String("ablate", "", "ablation to run (bands,delay,cfo,sparsity,separation, or 'all')")
 	trials := flag.Int("trials", 0, "trials per condition (0 = experiment default)")
 	seed := flag.Int64("seed", 1, "campaign seed")
@@ -96,14 +103,44 @@ func main() {
 			os.Exit(2)
 		}
 	} else {
+		// -fig accepts a comma-separated list so one invocation can emit
+		// a combined JSON snapshot (e.g. -fig perf,alias,aliasperf -json
+		// regenerates BENCH_4.json as a single array). Keys are validated
+		// up front: campaigns take minutes, and a typo must not burn a
+		// run before erroring (or discard buffered -json results).
+		known := map[string]bool{}
 		for _, f := range figures {
-			if f.key == *fig || (*fig == "" && !f.explicitOnly) {
+			known[f.key] = true
+		}
+		want := map[string]bool{}
+		var unknown []string
+		for _, k := range strings.Split(*fig, ",") {
+			if k = strings.TrimSpace(k); k != "" {
+				if !known[k] {
+					unknown = append(unknown, k)
+				}
+				want[k] = true
+			}
+		}
+		if len(unknown) > 0 {
+			fmt.Fprintf(os.Stderr, "unknown figure(s) %q (have: %s)\n", strings.Join(unknown, ","), keys(len(figures), func(i int) string { return figures[i].key }))
+			os.Exit(2)
+		}
+		if len(want) == 0 && strings.TrimSpace(*fig) != "" {
+			// A -fig of only commas/whitespace is a typo, not a request
+			// to run the full multi-minute sweep.
+			fmt.Fprintf(os.Stderr, "no figure selected by -fig %q (have: %s)\n", *fig, keys(len(figures), func(i int) string { return figures[i].key }))
+			os.Exit(2)
+		}
+		runAll := len(want) == 0
+		for _, f := range figures {
+			if want[f.key] || (runAll && !f.explicitOnly) {
 				collect(f.fn(opts))
 				ran = true
 			}
 		}
 		if !ran {
-			fmt.Fprintf(os.Stderr, "unknown figure %q (have: %s)\n", *fig, keys(len(figures), func(i int) string { return figures[i].key }))
+			fmt.Fprintf(os.Stderr, "no figure selected by %q (have: %s)\n", *fig, keys(len(figures), func(i int) string { return figures[i].key }))
 			os.Exit(2)
 		}
 	}

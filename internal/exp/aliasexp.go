@@ -1,0 +1,225 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"chronos/internal/csi"
+	"chronos/internal/rf"
+	"chronos/internal/stats"
+	"chronos/internal/tof"
+	"chronos/internal/wifi"
+)
+
+// ghostNs is the error magnitude past which a ToF miss is counted as an
+// alias ghost rather than estimation noise: half the 25 ns grating-lobe
+// period, so any wrong-family placement lands beyond it.
+const ghostNs = 12.5
+
+// adversarialPaths is the deep-NLOS geometry that reliably strands
+// direct-path mass on a grating-lobe ghost vertex of the degenerate
+// LASSO face (the PR-3 ablate-delay regression, distilled): a faded
+// direct path under two strong late reflections at low SNR with a tight
+// iteration budget.
+func adversarialPaths() (direct float64, extra []rf.Path, snr float64, maxIter int) {
+	return 30, []rf.Path{{Delay: 37e-9, Gain: 1.8}, {Delay: 42e-9, Gain: 1.0}}, 12, 400
+}
+
+// adversarialTrial measures one synthetic deep-NLOS link with both
+// rankings over the identical sweep, returning absolute errors in ns.
+func adversarialTrial(rng *rand.Rand) (vertexErr, familyErr float64, ok bool) {
+	direct, extra, snr, maxIter := adversarialPaths()
+	tx, rx := csi.NewRadio(rng), csi.NewRadio(rng)
+	tx.Quirk24, rx.Quirk24 = false, false
+	paths := append([]rf.Path{{Delay: direct * 1e-9, Gain: 1}}, extra...)
+	link := &csi.Link{TX: tx, RX: rx, Channel: rf.NewChannel(paths), SNRdB: snr}
+	bands := wifi.Bands5GHz()
+	sweep := link.Sweep(rng, bands, 3, 2.4e-3)
+	hw := link.TX.Osc.HWDelayNs + link.RX.Osc.HWDelayNs
+	errFor := func(rk tof.PeakRanking) (float64, bool) {
+		est := tof.NewEstimator(tof.Config{Mode: tof.Bands5GHzOnly, MaxIter: maxIter, Ranking: rk})
+		r, err := est.Estimate(bands, sweep)
+		if err != nil {
+			return 0, false
+		}
+		return math.Abs(r.ToF*1e9 - direct - hw), true
+	}
+	v, okV := errFor(tof.RankVertex)
+	f, okF := errFor(tof.RankFamilies)
+	return v, f, okV && okF
+}
+
+// AliasRanking is the alias-resolution ablation (chronos-bench -fig
+// alias): vertex-ranked versus family-ranked peak extraction, measured
+// on the standard office campaign (where both should agree — family
+// ranking is a conservative extension) and on the adversarial deep-NLOS
+// geometry where the solver strands direct-path mass on a ±25 ns ghost
+// vertex and only family ranking recovers the true alias cell.
+func AliasRanking(o Options) *Result {
+	o = o.withDefaults(12)
+	res := &Result{
+		ID:     "alias-ranking",
+		Title:  "Alias resolution: vertex-ranked vs family-ranked peaks",
+		Header: []string{"scenario", "ranking", "median (ns)", "p90 (ns)", "ghosts", "trials"},
+	}
+	res.Metrics = map[string]float64{}
+
+	rankings := []struct {
+		name string
+		rk   tof.PeakRanking
+	}{
+		{"vertex", tof.RankVertex},
+		{"family", tof.RankFamilies},
+	}
+
+	// Office campaign, paired per trial: the ranking is the only
+	// variable (identical placements, channels, and noise draws).
+	office := newOffice(o)
+	for _, rc := range rankings {
+		cfg := tof.Config{Mode: tof.Bands5GHzOnly, MaxIter: 1200, Ranking: rc.rk}
+		trials := runToFCampaign(o, "alias-ranking/office", office, cfg, o.Trials, false, 15)
+		errs := make([]float64, len(trials))
+		ghosts := 0
+		for i, t := range trials {
+			errs[i] = t.ErrNs
+			if t.ErrNs > ghostNs {
+				ghosts++
+			}
+		}
+		res.Rows = append(res.Rows, []string{
+			"office LOS", rc.name,
+			fmtF(stats.Median(errs), 3), fmtF(stats.Percentile(errs, 90), 3),
+			fmt.Sprintf("%d", ghosts), fmt.Sprintf("%d", len(errs)),
+		})
+		res.Metrics["office_median_"+rc.name+"_ns"] = stats.Median(errs)
+		res.Metrics["office_ghosts_"+rc.name] = float64(ghosts)
+	}
+
+	// Adversarial deep-NLOS links: both rankings see the same sweep, so
+	// the ghost-rate gap is attributable to the ranking alone.
+	advTrials := o.Trials * 3
+	type advOut struct{ v, f float64 }
+	runs := runTrials(o, "alias-ranking/adversarial", advTrials, func(t int, rng *rand.Rand) (advOut, bool) {
+		v, f, ok := adversarialTrial(rng)
+		return advOut{v: v, f: f}, ok
+	})
+	var vErrs, fErrs []float64
+	vGhosts, fGhosts := 0, 0
+	for _, r := range runs {
+		vErrs = append(vErrs, r.v)
+		fErrs = append(fErrs, r.f)
+		if r.v > ghostNs {
+			vGhosts++
+		}
+		if r.f > ghostNs {
+			fGhosts++
+		}
+	}
+	n := len(runs)
+	for _, rc := range rankings {
+		errs, ghosts := vErrs, vGhosts
+		if rc.rk == tof.RankFamilies {
+			errs, ghosts = fErrs, fGhosts
+		}
+		res.Rows = append(res.Rows, []string{
+			"deep NLOS (adversarial)", rc.name,
+			fmtF(stats.Median(errs), 3), fmtF(stats.Percentile(errs, 90), 3),
+			fmt.Sprintf("%d", ghosts), fmt.Sprintf("%d", n),
+		})
+		res.Metrics["adversarial_median_"+rc.name+"_ns"] = stats.Median(errs)
+		res.Metrics["adversarial_ghosts_"+rc.name] = float64(ghosts)
+	}
+	if n > 0 {
+		res.Metrics["adversarial_ghost_rate_vertex"] = float64(vGhosts) / float64(n)
+		res.Metrics["adversarial_ghost_rate_family"] = float64(fGhosts) / float64(n)
+	}
+	return res
+}
+
+// PerfAlias characterizes the alias-disambiguation refit cost (the ~⅓ of
+// estimate time the ROADMAP flagged) in solver Work units — grid cells
+// processed, a deterministic measure unlike wall clock — cold versus
+// warm-started across a sweep stream (chronos-bench -fig aliasperf). The
+// warm column seeds each hypothesis's windowed solve from the previous
+// sweep's converged window profile; the committed BENCH_4.json snapshots
+// this table next to the PR-3 BENCH_baseline.json solver trajectory.
+func PerfAlias(o Options) *Result {
+	o = o.withDefaults(16)
+	if o.Trials < 3 {
+		o.Trials = 3 // warm medians need at least two seeded sweeps
+	}
+	bands := wifi.Bands5GHz()
+	cfg := tof.Config{Mode: tof.Bands5GHzOnly, MaxIter: 1200}
+	const sweepDt = 0.084 // seconds per full band sweep (Fig. 9a median)
+
+	res := &Result{
+		ID:     "perf-alias",
+		Title:  "Alias-refit cost per estimate, cold vs warm-started (Work units)",
+		Header: []string{"scenario", "alias work (cold)", "alias work (warm)", "warm/cold", "total work (warm)"},
+	}
+	res.Metrics = map[string]float64{}
+	for _, sc := range []struct {
+		name  string
+		speed float64
+	}{
+		{"static", 0},
+		{"walking 1 m/s", 1.0},
+	} {
+		rng := trialRNG(o, "perf-alias/"+sc.name, 0)
+		tx, rx := csi.NewRadio(rng), csi.NewRadio(rng)
+		tx.Quirk24, rx.Quirk24 = false, false
+		link := &csi.Link{TX: tx, RX: rx, SNRdB: 26}
+
+		est := tof.NewEstimator(cfg)
+		cold := est.NewSweep()
+		warm := est.NewSweep()
+		warm.SetWarmStart(true)
+
+		var coldAlias, warmAlias, warmTotal []float64
+		tauNs := 20.0
+		for s := 0; s < o.Trials; s++ {
+			link.Channel = rf.NewChannel([]rf.Path{
+				{Delay: tauNs * 1e-9, Gain: 1},
+				{Delay: (tauNs + 4.2) * 1e-9, Gain: 0.6},
+				{Delay: (tauNs + 9.5) * 1e-9, Gain: 0.4},
+			})
+			sweep := link.Sweep(rng, bands, 3, 2.4e-3)
+			for i, b := range bands {
+				if err := cold.AddBand(b, sweep[i]); err != nil {
+					panic(err) // fixed synthetic geometry; cannot fail
+				}
+				if err := warm.AddBand(b, sweep[i]); err != nil {
+					panic(err)
+				}
+			}
+			rc, err := cold.Estimate()
+			if err != nil {
+				panic(err)
+			}
+			rw, err := warm.Estimate()
+			if err != nil {
+				panic(err)
+			}
+			coldAlias = append(coldAlias, float64(rc.AliasWork))
+			if s > 0 { // the first warm sweep has nothing to warm from
+				warmAlias = append(warmAlias, float64(rw.AliasWork))
+				warmTotal = append(warmTotal, float64(rw.Work))
+			}
+			cold.Reset()
+			warm.Reset()
+			tauNs += sc.speed * sweepDt / wifi.SpeedOfLight * 1e9
+		}
+		ca, wa := stats.Median(coldAlias), stats.Median(warmAlias)
+		res.Rows = append(res.Rows, []string{
+			sc.name, fmtF(ca, 0), fmtF(wa, 0), fmtF(wa/ca, 3), fmtF(stats.Median(warmTotal), 0),
+		})
+		key := map[string]string{"static": "static", "walking 1 m/s": "walking"}[sc.name]
+		res.Metrics["alias_work_cold_"+key] = ca
+		res.Metrics["alias_work_warm_"+key] = wa
+		if ca > 0 {
+			res.Metrics["alias_warm_ratio_"+key] = wa / ca
+		}
+	}
+	return res
+}

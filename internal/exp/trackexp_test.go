@@ -3,7 +3,15 @@ package exp
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
 	"testing"
+
+	"chronos/internal/tof"
+	"chronos/internal/track"
 )
 
 // TestTrackCapacityDeterministicAcrossWorkers is the tracking acceptance
@@ -111,4 +119,75 @@ func TestWriteJSONRoundTrips(t *testing.T) {
 	if len(out) != 1 || out[0].ID != "demo" || out[0].Metrics["m"] != 2.5 {
 		t.Errorf("round trip lost data: %+v", out)
 	}
+}
+
+// TestTrackGoldenTraceAcrossWorkers is the golden-trace acceptance test
+// for warm-started, velocity-translated sessions: a fixed-seed
+// moving-target campaign must produce byte-identical per-fix tables at
+// Workers=1 and Workers=8 (warm state is per-session, so worker
+// scheduling must not leak into fixes), and the warm fix tables must
+// stay within solver tolerance of the cold-start session's.
+func TestTrackGoldenTraceAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign experiment")
+	}
+	office := newOffice(Options{Seed: 5})
+	trace := func(workers int, warm bool) []string {
+		o := Options{Seed: 5, Workers: workers}
+		return runTrials(o, "golden-trace", 4, func(trial int, rng *rand.Rand) (string, bool) {
+			est := tof.NewEstimator(defaultToFConfig())
+			cfg := track.SessionConfig{
+				Speed: 1.2, Sweeps: 4,
+				WarmStart: warm, VelocityTranslate: warm,
+			}
+			r, err := track.RunSession(rng, office, est, cfg)
+			if err != nil || len(r.Fixes) == 0 {
+				return "", false
+			}
+			var b strings.Builder
+			for _, f := range r.Fixes {
+				fmt.Fprintf(&b, "t%d at=%d bands=%d range=%x true=%x acc=%v\n",
+					trial, f.At, f.Bands, f.Range, f.TrueRange, f.Accepted)
+			}
+			return b.String(), true
+		})
+	}
+	serial := trace(1, true)
+	pooled := trace(8, true)
+	if strings.Join(serial, "") != strings.Join(pooled, "") {
+		t.Errorf("warm fix tables differ across worker counts:\n%v\nvs\n%v", serial, pooled)
+	}
+	cold := trace(1, false)
+	if len(cold) != len(serial) {
+		t.Fatalf("trial counts differ: cold %d warm %d", len(cold), len(serial))
+	}
+	for i := range cold {
+		warmLines := strings.Split(strings.TrimSpace(serial[i]), "\n")
+		coldLines := strings.Split(strings.TrimSpace(cold[i]), "\n")
+		if len(warmLines) != len(coldLines) {
+			t.Fatalf("trial %d: fix counts differ", i)
+		}
+		for j := range warmLines {
+			wr, cr := parseRange(t, warmLines[j]), parseRange(t, coldLines[j])
+			if d := math.Abs(wr - cr); d > 0.05 {
+				t.Errorf("trial %d fix %d: warm range %.4f vs cold %.4f (Δ %.4f m)\nwarm: %s\ncold: %s", i, j, wr, cr, d, warmLines[j], coldLines[j])
+			}
+		}
+	}
+}
+
+// parseRange extracts the hex-float range field from a golden-trace line.
+func parseRange(t *testing.T, line string) float64 {
+	t.Helper()
+	for _, f := range strings.Fields(line) {
+		if strings.HasPrefix(f, "range=") {
+			v, err := strconv.ParseFloat(strings.TrimPrefix(f, "range="), 64)
+			if err != nil {
+				t.Fatalf("bad range in %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("no range field in %q", line)
+	return 0
 }

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/cmplx"
 
 	"chronos/internal/csi"
 	"chronos/internal/dsp"
@@ -69,6 +68,13 @@ type Config struct {
 	// is exactly the §4 observation that unequally spaced bands raise
 	// the unambiguous range. Set negative to disable the test.
 	AliasPeriod float64
+	// Ranking selects how the direct-path peak is extracted from the
+	// profile: RankFamilies (default) ranks alias families by folded
+	// mass and lets the window refit place the winner; RankVertex is the
+	// historical chain that trusts the raw solver vertex (kept for the
+	// alias ablation). With AliasPeriod disabled both reduce to the
+	// plain windowed first-peak rule.
+	Ranking PeakRanking
 	// ForwardOnly disables the §7 CFO cancellation (ablation).
 	ForwardOnly bool
 	// CalibrationOffset is subtracted from every τ estimate; it absorbs
@@ -148,6 +154,14 @@ type Estimate struct {
 	Peaks int
 	// Fused reports whether a 2.4 GHz estimate was blended in.
 	Fused bool
+	// Work counts solver grid cells processed for this estimate across
+	// every group inversion and alias refit — the deterministic cost
+	// measure the perf campaigns snapshot (wall clock varies by host,
+	// Work does not).
+	Work int64
+	// AliasWork is the portion of Work spent in alias-window refits
+	// (family placement or vertex disambiguation).
+	AliasWork int64
 }
 
 // ErrNoBands reports that no usable band measurements were supplied.
@@ -182,41 +196,79 @@ type Sweep struct {
 	// and the full sweep each keep their own seed and cold baseline.
 	warm       bool
 	warmGroups map[planKey]*warmGroup
+	// warmWindows carries the alias-refit warm state, keyed by window
+	// geometry and hypothesis index: the refit window tracks its
+	// candidate delay, so in window coordinates each hypothesis's
+	// profile is nearly stationary between sweeps and seeds its own next
+	// solve. Window profiles are never velocity-translated — the window
+	// origin already follows the moving candidate.
+	warmWindows map[aliasWarmKey]*warmGroup
 }
+
+// aliasWarmKey identifies one alias hypothesis's warm state: the window
+// plan geometry plus the hypothesis index within the refit.
+type aliasWarmKey struct {
+	key planKey
+	hyp int
+}
+
+// warmStrikes is how many consecutive unprofitable warm solves a group
+// tolerates before permanently reverting to cold starts. A single miss
+// is usually the target outrunning the predicted working set for one
+// sweep (a KKT fallback already produced a correct dense answer); a run
+// of misses means warm starting structurally does not pay here.
+const warmStrikes = 3
 
 // warmGroup is one power group's warm-start state and its measured
 // efficacy. Warm starting helps when the optimum barely moves between
-// solves (coarse grids, static targets) and can cost extra iterations
-// when per-sweep noise shifts the fine-grid support; rather than guess,
-// the sweep compares each warm solve's actual solver work against the
-// group's cold baseline and permanently reverts a group to cold starts
-// the first time a warm solve fails to pay for itself.
+// solves (coarse grids, static targets, velocity-translated seeds) and
+// can cost extra iterations when per-sweep noise shifts the fine-grid
+// support; rather than guess, the sweep compares each warm solve's
+// actual solver work against the group's cold baseline and reverts the
+// group to cold starts after warmStrikes consecutive misses.
 type warmGroup struct {
 	profile  dsp.Vec
 	coldWork int64 // solver work of the group's last cold solve
+	strikes  int   // consecutive unprofitable warm solves
 	off      bool  // warm starting measured unprofitable for this group
 }
 
-// observe folds one solve's outcome into the group's policy.
+// observe folds one solve's outcome into the group's policy. Profiles
+// are retained as seeds whether or not the solve met its convergence
+// tolerance: an iteration-capped iterate still sits near the optimum
+// (noisy measurements routinely cap the main solve), and seeding from it
+// lets optimization effectively continue across sweeps. Correctness is
+// guarded by the solver's full-grid KKT audit, and cost by this policy —
+// warmStrikes consecutive warm solves that fail to beat the group's cold
+// baseline permanently revert the group to cold starts.
 func (g *warmGroup) observe(warmed bool, res *ndft.Result) {
 	if g.off {
 		return // reverted to cold starts; nothing to maintain
 	}
 	if !warmed {
 		g.coldWork = res.Work
-		if res.Converged {
-			g.store(res.Profile)
-		} else {
-			g.profile = g.profile[:0]
-		}
-		return
-	}
-	if res.Converged && res.Work < g.coldWork {
 		g.store(res.Profile)
 		return
 	}
-	g.off = true
-	g.profile = nil
+	if res.Work < g.coldWork {
+		g.strikes = 0
+		g.store(res.Profile)
+		return
+	}
+	// Unprofitable — but the solve still produced the best current
+	// iterate (an over-budget restricted pass, or a KKT fallback's dense
+	// answer), so keep it as the seed while the strike budget lasts. The
+	// cold baseline is deliberately NOT re-based on this solve's work:
+	// measuring strikes against an inflated pseudo-cold baseline would
+	// let a group that persistently costs a little more than cold look
+	// alternately profitable and never revert.
+	g.strikes++
+	if g.strikes >= warmStrikes {
+		g.off = true
+		g.profile = nil
+		return
+	}
+	g.store(res.Profile)
 }
 
 // store retains a converged profile, reusing the backing array.
@@ -242,6 +294,34 @@ func (s *Sweep) SetWarmStart(on bool) {
 	s.warm = on
 	if !on {
 		s.warmGroups = nil
+		s.warmWindows = nil
+	}
+}
+
+// TranslateWarm circularly shifts every retained main-grid warm profile
+// by dTau seconds of predicted delay drift — the velocity feed-forward
+// for tracking streams. A target moving radially at v for Δt seconds
+// shifts every path delay by v·Δt/c; shifting the seed by the same
+// amount keeps the warm working set centered on the predicted optimum
+// instead of trailing it by one sweep, which is what keeps warm starts
+// profitable at walking speeds. The shift is the same cell count for
+// every power group: the h̃ᵖ grids scale both the drift (p·dTau) and the
+// step (p·GridStep) by p. Alias-window warm profiles are left alone
+// (their window origin tracks the candidate). No-op when warm starting
+// is off or the drift rounds to zero cells.
+func (s *Sweep) TranslateWarm(dTau float64) {
+	if !s.warm || len(s.warmGroups) == 0 {
+		return
+	}
+	cells := int(math.Round(dTau / s.est.cfg.GridStep))
+	if cells == 0 {
+		return
+	}
+	for _, g := range s.warmGroups {
+		if g.off || len(g.profile) == 0 {
+			continue
+		}
+		ndft.ShiftProfile(g.profile, cells)
 	}
 }
 
@@ -259,6 +339,25 @@ func (s *Sweep) warmState(key planKey) *warmGroup {
 	if g == nil {
 		g = &warmGroup{}
 		s.warmGroups[key] = g
+	}
+	return g
+}
+
+// windowWarmState returns (creating on demand) the warm policy state for
+// one alias hypothesis of one window geometry, or nil when warm starting
+// is disabled on this sweep.
+func (s *Sweep) windowWarmState(key planKey, hyp int) *warmGroup {
+	if !s.warm {
+		return nil
+	}
+	if s.warmWindows == nil {
+		s.warmWindows = make(map[aliasWarmKey]*warmGroup, 4)
+	}
+	k := aliasWarmKey{key: key, hyp: hyp}
+	g := s.warmWindows[k]
+	if g == nil {
+		g = &warmGroup{}
+		s.warmWindows[k] = g
 	}
 	return g
 }
@@ -344,6 +443,7 @@ func (e *Estimator) estimate(s *Sweep) (*Estimate, error) {
 		weight  float64
 	}
 	var ests []groupEst
+	var totalWork, aliasWork int64
 	for power, g := range groups {
 		if len(g) < 3 {
 			continue // too few bands to invert meaningfully
@@ -354,16 +454,44 @@ func (e *Estimator) estimate(s *Sweep) (*Estimate, error) {
 			freqs[i] = m.freq
 			h[i] = m.value
 		}
-		prof, err := e.invertGroup(freqs, h, power, s)
+		prof, work, err := e.invertGroup(freqs, h, power, s)
+		totalWork += work
 		if err != nil {
 			return nil, err
 		}
-		tau, ok := e.firstPeakWindowed(prof)
+		var tau float64
+		ok := false
+		if e.cfg.Ranking == RankFamilies && e.cfg.AliasPeriod > 0 {
+			var aw int64
+			tau, ok, aw = e.familyRank(freqs, h, power, prof, s)
+			aliasWork += aw
+			totalWork += aw
+		}
+		if !ok {
+			// RankVertex, alias test disabled, or family ranking could
+			// not fold/place on this geometry: fall back to the vertex
+			// first peak. In family mode its placement still runs the
+			// full scorer machinery (shared α, discrimination weights,
+			// fit gate, cold-confirmed flips); the explicit RankVertex
+			// baseline keeps the historical disambiguation it documents.
+			tau, ok = e.firstPeakWindowed(prof)
+			if ok && e.cfg.AliasPeriod > 0 {
+				if e.cfg.Ranking == RankFamilies {
+					if scorer, err := e.newAliasScorer(freqs, h, power, s); err == nil {
+						tau = e.placeCandidate(scorer, tau)
+						aliasWork += scorer.work
+						totalWork += scorer.work
+					}
+				} else {
+					var aw int64
+					tau, aw = e.disambiguateAlias(freqs, h, power, tau, s)
+					aliasWork += aw
+					totalWork += aw
+				}
+			}
+		}
 		if !ok {
 			continue
-		}
-		if e.cfg.AliasPeriod > 0 {
-			tau = e.disambiguateAlias(freqs, h, power, tau)
 		}
 		span := spanOf(freqs)
 		ests = append(ests, groupEst{
@@ -405,11 +533,13 @@ func (e *Estimator) estimate(s *Sweep) (*Estimate, error) {
 		tau = 0
 	}
 	return &Estimate{
-		ToF:      tau,
-		Distance: tau * wifi.SpeedOfLight,
-		Profile:  primary.profile,
-		Peaks:    primary.peaks,
-		Fused:    fused,
+		ToF:       tau,
+		Distance:  tau * wifi.SpeedOfLight,
+		Profile:   primary.profile,
+		Peaks:     primary.peaks,
+		Fused:     fused,
+		Work:      totalWork,
+		AliasWork: aliasWork,
 	}, nil
 }
 
@@ -433,79 +563,12 @@ func (e *Estimator) firstPeakWindowed(prof *Profile) (float64, bool) {
 	return strongest.X, true
 }
 
-// aliasWindow is the width of the disambiguation refit window in τ:
-// [cand−2 ns, cand+22 ns]. 24 ns < the 25 ns alias period, so the window
-// holds at most one hypothesis.
-const aliasWindow = 24e-9
-
-// disambiguateAlias resolves which grating-lobe hypothesis the first peak
-// belongs to. For each shift k·AliasPeriod around the candidate, it refits
-// the measurements on a delay window shorter than one alias period; the
-// displaced hypotheses fit the on-lattice channels but rotate the
-// off-lattice channels, so the true hypothesis has the smallest residual.
-//
-// All hypotheses share one canonical window plan from the registry:
-// fitting on the grid [lo, lo+W] equals fitting the phase-rotated
-// measurement h·e^{+j2πf·lo} on [0, W] (a delay shift is a per-frequency
-// rotation, which preserves the residual norm), so the window plan is
-// built once per band-group geometry instead of per hypothesis per call.
-// When a candidate sits within 2 ns of zero the shift clamps to lo=0 and
-// the fixed-width window [0, W] extends slightly past cand+22 ns; the
-// extra atoms stay inside one alias period (W = 24 ns < 25 ns), so the
-// window still holds at most one hypothesis.
-func (e *Estimator) disambiguateAlias(freqs []float64, h dsp.Vec, power int, tau float64) float64 {
-	pf := float64(power)
-	key := newPlanKey(freqs, power, aliasWindow, e.cfg.GridStep)
-	key.window = true
-	plan, err := e.plans.planFor(key, func() (*ndft.Plan, error) {
-		return ndft.NewPlan(freqs, ndft.TauGrid(pf*aliasWindow, pf*e.cfg.GridStep))
-	})
-	if err != nil {
-		return tau
-	}
-	rot := make(dsp.Vec, len(h))
-	dst := &ndft.Result{}
-	resids := map[int]float64{}
-	for k := -1; k <= 1; k++ {
-		cand := tau + float64(k)*e.cfg.AliasPeriod
-		if cand < -1e-9 || cand > e.cfg.MaxTau {
-			continue
-		}
-		lo := (cand - 2e-9) * pf
-		if lo < 0 {
-			lo = 0
-		}
-		for i, f := range freqs {
-			ph := math.Mod(2*math.Pi*f*lo, 2*math.Pi)
-			rot[i] = h[i] * cmplx.Rect(1, ph)
-		}
-		res, err := plan.Solve(rot, ndft.InvertOptions{Alpha: e.cfg.Alpha, MaxIter: 600}, nil, dst)
-		if err != nil {
-			continue
-		}
-		resids[k] = res.Residual
-	}
-	base, ok := resids[0]
-	if !ok {
-		return tau
-	}
-	// Shift only when a competing hypothesis fits the data decisively
-	// better than the incumbent — a conservative test, since residual
-	// comparisons are noisy when the off-lattice channels are faded.
-	bestK, bestResid := 0, base
-	for k, r := range resids {
-		if r < 0.85*base && r < bestResid {
-			bestK, bestResid = k, r
-		}
-	}
-	return tau + float64(bestK)*e.cfg.AliasPeriod
-}
-
 // invertGroup runs Algorithm 1 for one power group and rescales the
 // resulting profile from the h̃ᵖ delay domain back to true τ. The plan
 // for the group's geometry comes from the shared registry; the sweep
-// supplies (and retains) the warm-start profile when enabled.
-func (e *Estimator) invertGroup(freqs []float64, h dsp.Vec, power int, s *Sweep) (*Profile, error) {
+// supplies (and retains) the warm-start profile when enabled. The second
+// return is the solver work spent (grid cells processed).
+func (e *Estimator) invertGroup(freqs []float64, h dsp.Vec, power int, s *Sweep) (*Profile, int64, error) {
 	key := newPlanKey(freqs, power, e.cfg.MaxTau, e.cfg.GridStep)
 	plan, err := e.plans.planFor(key, func() (*ndft.Plan, error) {
 		// The h̃ᵖ profile lives on delays that are sums of p path delays,
@@ -516,7 +579,7 @@ func (e *Estimator) invertGroup(freqs []float64, h dsp.Vec, power int, s *Sweep)
 		return ndft.NewPlan(freqs, taus)
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	g := s.warmState(key)
 	var warm dsp.Vec
@@ -529,7 +592,7 @@ func (e *Estimator) invertGroup(freqs []float64, h dsp.Vec, power int, s *Sweep)
 		MaxIter:    e.cfg.MaxIter,
 	}, warm, nil)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if g != nil {
 		g.observe(warm != nil, res)
@@ -538,7 +601,7 @@ func (e *Estimator) invertGroup(freqs []float64, h dsp.Vec, power int, s *Sweep)
 	for i, t := range res.Taus {
 		taus[i] = t / float64(power)
 	}
-	return &Profile{Taus: taus, Magnitude: res.Magnitude, Power: power}, nil
+	return &Profile{Taus: taus, Magnitude: res.Magnitude, Power: power}, res.Work, nil
 }
 
 // BandsFor returns the band plan a sweep should cover for the config's

@@ -41,6 +41,14 @@ func newPlanKey(freqs []float64, power int, maxTau, gridStep float64) planKey {
 	}
 }
 
+// defaultMaxPlans bounds the shared registry. The fixed evaluation
+// geometries use a handful of plans; a long-running multi-tenant service
+// sweeping many configurations is what the bound protects. At the
+// evaluation dimensions a plan is a few hundred kilobytes of planar
+// dictionary, so 64 resident geometries cap the registry around tens of
+// megabytes.
+const defaultMaxPlans = 64
+
 // planRegistry shares ndft.Plans across every Estimator that uses it:
 // the exp worker pool, Sweep accumulators, and the multi-device track
 // schedulers all resolve the same band-group signature to one plan
@@ -50,28 +58,41 @@ func newPlanKey(freqs []float64, power int, maxTau, gridStep float64) planKey {
 // duplicating it. Plans are immutable and their solves are internally
 // synchronized, so handing one plan to many goroutines is safe.
 //
-// Entries live for the registry's lifetime. The key space is bounded by
-// the distinct (band group, grid) geometries a process uses — a handful
-// per estimator configuration — so there is no eviction.
+// Occupancy is LRU-bounded: each hit stamps the entry with a logical
+// clock tick, and an insert that exceeds maxPlans evicts the
+// least-recently-stamped entries. Eviction is safe under races — a
+// goroutine still holding an evicted entry finishes (or awaits) its
+// build and uses the plan normally; the plan is simply no longer cached,
+// and the next request for that geometry rebuilds it.
 type planRegistry struct {
-	mu      sync.RWMutex
-	entries map[planKey]*planEntry
-	builds  atomic.Int64 // dictionary constructions actually performed
+	mu        sync.RWMutex
+	entries   map[planKey]*planEntry
+	maxPlans  int
+	clock     atomic.Int64 // logical recency clock
+	builds    atomic.Int64 // dictionary constructions actually performed
+	evictions atomic.Int64 // entries dropped by the LRU bound
 }
 
 type planEntry struct {
-	once sync.Once
-	plan *ndft.Plan
-	err  error
+	once     sync.Once
+	plan     *ndft.Plan
+	err      error
+	lastUsed atomic.Int64
+	bytes    atomic.Int64
 }
 
-func newPlanRegistry() *planRegistry {
-	return &planRegistry{entries: make(map[planKey]*planEntry)}
+// newPlanRegistry builds a registry bounded to maxPlans resident
+// geometries (0 means the default bound).
+func newPlanRegistry(maxPlans int) *planRegistry {
+	if maxPlans <= 0 {
+		maxPlans = defaultMaxPlans
+	}
+	return &planRegistry{entries: make(map[planKey]*planEntry), maxPlans: maxPlans}
 }
 
 // sharedPlans is the process-wide default registry. Every Estimator
 // built by NewEstimator resolves plans here.
-var sharedPlans = newPlanRegistry()
+var sharedPlans = newPlanRegistry(0)
 
 // planFor returns the plan for key, building it via build on first use.
 func (r *planRegistry) planFor(key planKey, build func() (*ndft.Plan, error)) (*ndft.Plan, error) {
@@ -82,16 +103,77 @@ func (r *planRegistry) planFor(key planKey, build func() (*ndft.Plan, error)) (*
 		r.mu.Lock()
 		if e = r.entries[key]; e == nil {
 			e = &planEntry{}
+			// Stamp before publishing so a racing insert cannot see this
+			// entry at recency zero and evict it immediately.
+			e.lastUsed.Store(r.clock.Add(1))
 			r.entries[key] = e
+			r.evictLocked(e)
 		}
 		r.mu.Unlock()
 	}
+	e.lastUsed.Store(r.clock.Add(1))
 	e.once.Do(func() {
 		r.builds.Add(1)
 		e.plan, e.err = build()
+		if e.plan != nil {
+			e.bytes.Store(e.plan.MemoryBytes())
+		}
 	})
 	return e.plan, e.err
 }
+
+// evictLocked drops least-recently-used entries until the bound holds,
+// sparing keep (the entry just inserted). Callers hold r.mu.
+func (r *planRegistry) evictLocked(keep *planEntry) {
+	for len(r.entries) > r.maxPlans {
+		var victimKey planKey
+		var victim *planEntry
+		for k, e := range r.entries {
+			if e == keep {
+				continue
+			}
+			if victim == nil || e.lastUsed.Load() < victim.lastUsed.Load() {
+				victim, victimKey = e, k
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(r.entries, victimKey)
+		r.evictions.Add(1)
+	}
+}
+
+// RegistryStats is a point-in-time snapshot of a plan registry's
+// occupancy and lifetime counters — the observability surface for
+// long-running services sweeping many estimator configurations.
+type RegistryStats struct {
+	Plans     int   // resident geometries
+	MaxPlans  int   // LRU bound on resident geometries
+	Builds    int64 // dictionary builds performed over the lifetime
+	Evictions int64 // entries dropped by the LRU bound
+	Bytes     int64 // approximate resident bytes across built plans
+}
+
+// stats snapshots the registry.
+func (r *planRegistry) stats() RegistryStats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := RegistryStats{
+		Plans:     len(r.entries),
+		MaxPlans:  r.maxPlans,
+		Builds:    r.builds.Load(),
+		Evictions: r.evictions.Load(),
+	}
+	for _, e := range r.entries {
+		s.Bytes += e.bytes.Load()
+	}
+	return s
+}
+
+// SharedRegistryStats reports the process-wide plan registry every
+// NewEstimator-built estimator resolves plans from.
+func SharedRegistryStats() RegistryStats { return sharedPlans.stats() }
 
 // size reports how many distinct geometries the registry holds.
 func (r *planRegistry) size() int {

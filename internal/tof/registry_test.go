@@ -1,6 +1,7 @@
 package tof
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sync"
@@ -46,7 +47,7 @@ func TestPlanRegistryConcurrentSingleBuild(t *testing.T) {
 	bands := wifi.Bands5GHz()
 	sweep := link.Sweep(rng, bands, 2, 2.4e-3)
 
-	reg := newPlanRegistry()
+	reg := newPlanRegistry(0)
 	cfg := Config{Mode: Bands5GHzOnly, MaxIter: 600}.withDefaults()
 
 	const workers = 16
@@ -87,7 +88,7 @@ func TestPlanRegistryConcurrentSingleBuild(t *testing.T) {
 }
 
 func TestPlanRegistryCachesErrors(t *testing.T) {
-	reg := newPlanRegistry()
+	reg := newPlanRegistry(0)
 	key := newPlanKey([]float64{1e9}, 2, 60e-9, 0.1e-9)
 	build := func() (*ndft.Plan, error) { return ndft.NewPlan(nil, nil) }
 	if _, err := reg.planFor(key, build); err == nil {
@@ -139,5 +140,129 @@ func TestSweepWarmStartEquivalence(t *testing.T) {
 		}
 		cold.Reset()
 		warm.Reset()
+	}
+}
+
+// TestPlanRegistryLRUEviction exercises the occupancy bound: filling a
+// small registry past maxPlans evicts the least-recently-used geometry,
+// stats reflect it, and an evicted geometry is rebuilt correctly on the
+// next request.
+func TestPlanRegistryLRUEviction(t *testing.T) {
+	reg := newPlanRegistry(3)
+	build := func(maxTau float64) func() (*ndft.Plan, error) {
+		return func() (*ndft.Plan, error) {
+			return ndft.NewPlan([]float64{5.18e9, 5.2e9, 5.22e9}, ndft.TauGrid(maxTau, 1e-9))
+		}
+	}
+	keys := make([]planKey, 5)
+	for i := range keys {
+		maxTau := float64(i+1) * 10e-9
+		keys[i] = newPlanKey([]float64{5.18e9, 5.2e9, 5.22e9}, 2, maxTau, 1e-9)
+		if _, err := reg.planFor(keys[i], build(maxTau)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := reg.stats()
+	if st.Plans != 3 || st.MaxPlans != 3 {
+		t.Errorf("stats plans = %d (max %d), want 3", st.Plans, st.MaxPlans)
+	}
+	if st.Builds != 5 || st.Evictions != 2 {
+		t.Errorf("builds = %d evictions = %d, want 5 and 2", st.Builds, st.Evictions)
+	}
+	if st.Bytes <= 0 {
+		t.Errorf("resident bytes = %d, want > 0", st.Bytes)
+	}
+	// keys[0] was evicted (least recently used): requesting it again
+	// must rebuild a correct plan, not resurrect stale state.
+	plan, err := reg.planFor(keys[0], build(10e-9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.Taus[len(plan.Taus)-1]; got > 10e-9+1e-12 {
+		t.Errorf("rebuilt plan has wrong grid end %v", got)
+	}
+	if b := reg.buildCount(); b != 6 {
+		t.Errorf("builds after re-request = %d, want 6", b)
+	}
+	// Touch keys[3] (making keys[2] the LRU), insert a new geometry, and
+	// confirm recency was honored.
+	if _, err := reg.planFor(keys[3], build(40e-9)); err != nil {
+		t.Fatal(err)
+	}
+	k5 := newPlanKey([]float64{5.18e9, 5.2e9, 5.22e9}, 2, 70e-9, 1e-9)
+	if _, err := reg.planFor(k5, build(70e-9)); err != nil {
+		t.Fatal(err)
+	}
+	reg.mu.RLock()
+	_, lruGone := reg.entries[keys[2]]
+	_, kept3 := reg.entries[keys[3]]
+	reg.mu.RUnlock()
+	if lruGone || !kept3 {
+		t.Errorf("LRU order not honored: keys[2] present=%v keys[3] present=%v", lruGone, kept3)
+	}
+}
+
+// TestPlanRegistryEvictionUnderRace hammers a bound-1 registry from many
+// goroutines over more geometries than it can hold: every caller must
+// still get a plan with its own geometry (an in-flight holder of an
+// evicted entry keeps using it safely), and under -race this doubles as
+// the eviction data-race check.
+func TestPlanRegistryEvictionUnderRace(t *testing.T) {
+	reg := newPlanRegistry(1)
+	const workers, geoms = 8, 4
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				g := (w + i) % geoms
+				maxTau := float64(g+1) * 10e-9
+				key := newPlanKey([]float64{5.18e9, 5.2e9}, 2, maxTau, 1e-9)
+				plan, err := reg.planFor(key, func() (*ndft.Plan, error) {
+					return ndft.NewPlan([]float64{5.18e9, 5.2e9}, ndft.TauGrid(maxTau, 1e-9))
+				})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if got := plan.Taus[len(plan.Taus)-1]; math.Abs(got-maxTau) > 1e-9+1e-12 {
+					errs[w] = fmt.Errorf("geometry mismatch: grid end %v for maxTau %v", got, maxTau)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := reg.stats()
+	if st.Plans > 1 {
+		t.Errorf("bound-1 registry holds %d plans", st.Plans)
+	}
+	if st.Evictions == 0 {
+		t.Error("no evictions recorded under churn")
+	}
+}
+
+func TestSharedRegistryStats(t *testing.T) {
+	// Resolve a plan through the shared registry so the snapshot must
+	// report activity regardless of test ordering.
+	key := newPlanKey([]float64{5.19e9, 5.21e9, 5.23e9}, 2, 12e-9, 1e-9)
+	if _, err := sharedPlans.planFor(key, func() (*ndft.Plan, error) {
+		return ndft.NewPlan([]float64{5.19e9, 5.21e9, 5.23e9}, ndft.TauGrid(12e-9, 1e-9))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := SharedRegistryStats()
+	if st.MaxPlans <= 0 {
+		t.Errorf("shared registry has no bound: %+v", st)
+	}
+	if st.Plans < 1 || st.Builds < 1 || st.Bytes <= 0 {
+		t.Errorf("shared registry reports no activity: %+v", st)
 	}
 }

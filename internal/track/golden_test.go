@@ -1,0 +1,109 @@
+package track
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"chronos/internal/sim"
+	"chronos/internal/tof"
+)
+
+// goldenSessionConfig is the fixture session: a moving target tracked
+// with warm starts and velocity-translated seeds — the full steady-state
+// pipeline this PR locks down.
+func goldenSessionConfig() SessionConfig {
+	return SessionConfig{
+		Speed:             1.2,
+		Sweeps:            5,
+		WarmStart:         true,
+		VelocityTranslate: true,
+		EarlyFixBands:     []int{8},
+	}
+}
+
+// fixTable renders a session's fixes (early and final) at full float
+// precision, so two runs compare byte-for-byte.
+func fixTable(r *SessionResult) string {
+	var b strings.Builder
+	for _, f := range append(append([]Fix{}, r.EarlyFixes...), r.Fixes...) {
+		fmt.Fprintf(&b, "at=%d lat=%d bands=%d range=%x true=%x early=%v acc=%v\n",
+			f.At, f.Latency, f.Bands, f.Range, f.TrueRange, f.Early, f.Accepted)
+	}
+	return b.String()
+}
+
+func runGolden(t *testing.T, seed int64, cfg SessionConfig) *SessionResult {
+	t.Helper()
+	office := sim.NewOffice(rand.New(rand.NewSource(3)), sim.OfficeConfig{})
+	est := tof.NewEstimator(tof.Config{Mode: tof.BandsFused, Quirk24: true, MaxIter: 1200})
+	r, err := RunSession(rand.New(rand.NewSource(seed)), office, est, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Fixes) == 0 {
+		t.Fatal("session produced no fixes")
+	}
+	return r
+}
+
+// TestSessionGoldenTraceDeterministic pins the warm, velocity-translated
+// session's full fix table: two runs from the same seed must agree
+// byte-for-byte (warm-start state, translation, and alias refits are all
+// deterministic for a given measurement stream).
+func TestSessionGoldenTraceDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline session")
+	}
+	a := fixTable(runGolden(t, 11, goldenSessionConfig()))
+	b := fixTable(runGolden(t, 11, goldenSessionConfig()))
+	if a != b {
+		t.Errorf("same-seed sessions diverged:\n%s\nvs\n%s", a, b)
+	}
+	if a == "" {
+		t.Error("empty fix table")
+	}
+}
+
+// TestSessionWarmTranslatedMatchesCold pins the accuracy contract of the
+// fast path: warm starts with velocity translation must reproduce the
+// cold session's raw ranges within solver tolerance, fix for fix.
+func TestSessionWarmTranslatedMatchesCold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline session")
+	}
+	warmCfg := goldenSessionConfig()
+	coldCfg := warmCfg
+	coldCfg.WarmStart, coldCfg.VelocityTranslate = false, false
+	warm := runGolden(t, 11, warmCfg)
+	cold := runGolden(t, 11, coldCfg)
+	if len(warm.Fixes) != len(cold.Fixes) {
+		t.Fatalf("fix counts differ: warm %d cold %d", len(warm.Fixes), len(cold.Fixes))
+	}
+	for i := range warm.Fixes {
+		if d := math.Abs(warm.Fixes[i].Range - cold.Fixes[i].Range); d > 0.05 {
+			t.Errorf("fix %d: warm range %.4f differs from cold %.4f by %.4f m",
+				i, warm.Fixes[i].Range, cold.Fixes[i].Range, d)
+		}
+	}
+	if math.Abs(warm.RawRMSE-cold.RawRMSE) > 0.05 {
+		t.Errorf("warm RawRMSE %.4f vs cold %.4f", warm.RawRMSE, cold.RawRMSE)
+	}
+}
+
+// TestSessionVelocityTranslateRequiresWarm checks the config contract:
+// translation without warm starts is a no-op session that still runs.
+func TestSessionVelocityTranslateRequiresWarm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline session")
+	}
+	cfg := goldenSessionConfig()
+	cfg.WarmStart = false // VelocityTranslate left on; must be ignored
+	cfg.Sweeps = 2
+	r := runGolden(t, 7, cfg)
+	if len(r.Fixes) != 2 {
+		t.Errorf("fixes = %d, want 2", len(r.Fixes))
+	}
+}

@@ -30,8 +30,15 @@
 // Steady-state tracking solves a nearly identical inversion sweep after
 // sweep. SessionConfig.WarmStart threads tof.Sweep's warm starts through
 // the streaming pipeline: each sweep's Algorithm 1 iterate starts from
-// the previous fix's converged profile and the solver needs a fraction
-// of the cold iterations while converging to the same fixed points.
+// the previous fix's profile and the solver needs a fraction of the
+// cold iterations while converging to the same fixed points. On moving
+// targets SessionConfig.VelocityTranslate closes the loop between the
+// filter and the solver: the Kalman radial-velocity estimate predicts
+// the inter-sweep delay drift, and the retained warm profiles are
+// circularly shifted by that amount (tof.Sweep.TranslateWarm) so the
+// solver's restricted working set is centered on where the paths will
+// be — keeping warm starts profitable at walking speeds where static
+// seeds trail the target and revert to cold.
 package track
 
 import (

@@ -43,6 +43,14 @@ type SessionConfig struct {
 	// the solver converges in a fraction of the cold iterations; the
 	// session remains deterministic for a given rng.
 	WarmStart bool
+	// VelocityTranslate feeds the Kalman radial-velocity estimate
+	// forward into the warm seeds: after each fix, the retained profiles
+	// are circularly shifted by the predicted inter-sweep delay change
+	// (tof.Sweep.TranslateWarm), so on a walking target the warm working
+	// set is centered on where the paths will be rather than where they
+	// were. Requires WarmStart; ignored otherwise. Deterministic for a
+	// given rng like the rest of the session.
+	VelocityTranslate bool
 	// RoomW, RoomH bound the target's random-waypoint walk, centered on
 	// the office floor (default 10 × 10 m, clamped to fit).
 	RoomW, RoomH float64
@@ -147,6 +155,8 @@ func RunSession(rng *rand.Rand, office *sim.Office, est *tof.Estimator, cfg Sess
 	}
 
 	var rawSq, smoothSq float64
+	var prevFixAt time.Duration
+	havePrevFix := false
 	for sweep := 0; sweep < cfg.Sweeps; sweep++ {
 		acc.Reset()
 		start := msim.Now()
@@ -197,6 +207,17 @@ func RunSession(rng *rand.Rand, office *sim.Office, est *tof.Estimator, cfg Sess
 			})
 			rawSq += (raw - truth) * (raw - truth)
 			smoothSq += (smoothed - truth) * (smoothed - truth)
+			if cfg.WarmStart && cfg.VelocityTranslate && havePrevFix {
+				// Predict the delay drift the next sweep will see: the
+				// filter's radial velocity over one inter-fix interval
+				// (sweep cadence is steady, so the last interval is the
+				// forecast), converted to seconds of τ. Shift the warm
+				// seeds so the restricted working set is already centered
+				// when the next inversion starts.
+				dt := (now - prevFixAt).Seconds()
+				acc.TranslateWarm(tracker.Velocity() * dt / wifi.SpeedOfLight)
+			}
+			prevFixAt, havePrevFix = now, true
 		}
 		if sweep+1 < cfg.Sweeps {
 			// Hop back to the first band for the next cycle.
