@@ -209,6 +209,38 @@ func BenchmarkPerfSolverCampaign(b *testing.B) {
 		if r.Metrics["iters_warm_static"] <= 0 {
 			b.Fatal("solver snapshot missing warm iterations")
 		}
+		// Under the noise-adaptive gap stop the snapshot's solves must
+		// actually converge: iteration-capped solves were previously
+		// indistinguishable from converged ones in this output.
+		if r.CapRate == nil || *r.CapRate > 0.05 {
+			b.Fatalf("solver snapshot cap-rate %v, want ~0 under the gap stop", r.CapRate)
+		}
+	}
+}
+
+func BenchmarkPerfConvergeCampaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.PerfConverge(quick(6))
+		// The PR-5 acceptance criteria, asserted on every bench-smoke run:
+		// at campaign SNR the gap rule must at least halve the cold solve
+		// work against the fixed-tolerance ablation with cap-rate ~0, the
+		// office median must not move beyond solver tolerance, and the
+		// colliding-families fixture must keep its alias refits warm.
+		if red := r.Metrics["work_reduction_26"]; red < 2 {
+			b.Fatalf("campaign-SNR cold work reduction %.2f×, want ≥ 2×", red)
+		}
+		if capRate := r.Metrics["cap_rate_gap_26"]; capRate > 0.05 {
+			b.Fatalf("campaign-SNR cap rate %.3f under the gap rule, want ~0", capRate)
+		}
+		if d := r.Metrics["office_median_delta_ns"]; d > 0.05 {
+			b.Fatalf("office median moved %.3f ns between gap and fixed-tolerance stacks, want ≤ 0.05", d)
+		}
+		if ratio := r.Metrics["collide_alias_warm_ratio"]; !(ratio > 0) || ratio > 0.75 {
+			b.Fatalf("colliding-families warm/cold alias work %v, want (0, 0.75]", ratio)
+		}
+		if d := r.Metrics["collide_warm_cold_dtof_ns"]; d > 0.05 {
+			b.Fatalf("colliding-families warm fix diverged %.4f ns from cold, want ≤ 0.05", d)
+		}
 	}
 }
 

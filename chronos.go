@@ -23,6 +23,7 @@ import (
 	"chronos/internal/geo"
 	"chronos/internal/hop"
 	"chronos/internal/loc"
+	"chronos/internal/ndft"
 	"chronos/internal/rf"
 	"chronos/internal/sim"
 	"chronos/internal/tof"
@@ -67,6 +68,17 @@ type PeakRanking = tof.PeakRanking
 const (
 	RankFamilies = tof.RankFamilies
 	RankVertex   = tof.RankVertex
+)
+
+// StopRule selects the profile solver's termination rule
+// (ToFConfig.Stop): the noise-adaptive duality-gap stop (default) or the
+// historical fixed iterate tolerance.
+type StopRule = ndft.StopRule
+
+// Stop-rule selectors for ToFConfig.Stop.
+const (
+	StopGap     = ndft.StopGap
+	StopIterate = ndft.StopIterate
 )
 
 // PlanRegistryStats is a snapshot of the shared NDFT plan registry's

@@ -141,3 +141,43 @@ func TestFacadePlanRegistryStats(t *testing.T) {
 		t.Errorf("implausible registry counters: %+v", st)
 	}
 }
+
+// TestFacadeStopRuleAndTelemetry pins the PR-5 facade surface: the
+// stop-rule re-exports select the solver's termination behavior through
+// ToFConfig, and estimates surface the convergence telemetry
+// (Converged, Iterations, GapAtStop, NoiseFloor).
+func TestFacadeStopRuleAndTelemetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tx, rx := NewRadio(rng), NewRadio(rng)
+	tx.Quirk24, rx.Quirk24 = false, false
+	link := &Link{
+		TX: tx, RX: rx,
+		Channel: NewChannel([]Path{{Delay: 6 / SpeedOfLight, Gain: 1}, {Delay: 9 / SpeedOfLight, Gain: 0.5}}),
+		SNRdB:   26,
+	}
+	bands := Bands5GHz()
+	sweep := link.Sweep(rng, bands, 3, 2.4e-3)
+
+	gap := NewToFEstimator(ToFConfig{Mode: Bands5GHzOnly, MaxIter: 1200, Stop: StopGap})
+	rg, err := gap.Estimate(bands, sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rg.Converged || rg.Iterations <= 0 || rg.NoiseFloor <= 0 {
+		t.Errorf("gap telemetry: converged=%v iters=%d noiseRel=%v", rg.Converged, rg.Iterations, rg.NoiseFloor)
+	}
+	if rg.GapAtStop <= 0 {
+		t.Errorf("gap-stopped estimate reported no duality gap (%v)", rg.GapAtStop)
+	}
+	eps := NewToFEstimator(ToFConfig{Mode: Bands5GHzOnly, MaxIter: 1200, Stop: StopIterate})
+	re, err := eps.Estimate(bands, sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Work <= rg.Work {
+		t.Errorf("fixed-tolerance solve work %d not above gap-stopped %d at campaign SNR", re.Work, rg.Work)
+	}
+	if d := math.Abs(rg.ToF-re.ToF) * 1e9; d > 0.05 {
+		t.Errorf("gap-stopped ToF differs from fixed-tolerance by %.3f ns", d)
+	}
+}

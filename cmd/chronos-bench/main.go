@@ -55,6 +55,12 @@ var figures = []struct {
 	// they run only when requested.
 	{key: "alias", fn: exp.AliasRanking, explicitOnly: true},
 	{key: "aliasperf", fn: exp.PerfAlias, explicitOnly: true},
+	// converge is the noise-adaptive convergence campaign (PR 5): the
+	// duality-gap stop vs the fixed-tolerance ablation across SNR, the
+	// office accuracy guard, the colliding-families warm-refit fixture,
+	// and streaming-session convergence telemetry — all in deterministic
+	// units, snapshotted into BENCH_5.json.
+	{key: "converge", fn: exp.PerfConverge, explicitOnly: true},
 }
 
 var ablations = []struct {
@@ -69,7 +75,7 @@ var ablations = []struct {
 }
 
 func main() {
-	fig := flag.String("fig", "", "comma-separated figures to regenerate (3,4,7a,7b,7c,8a,8b,8c,9a,9b,9c,10a,10b, plus the pseudo-figures perf, alias, aliasperf); empty = all paper figures (pseudo-figures run only when requested)")
+	fig := flag.String("fig", "", "comma-separated figures to regenerate (3,4,7a,7b,7c,8a,8b,8c,9a,9b,9c,10a,10b, plus the pseudo-figures perf, alias, aliasperf, converge); empty = all paper figures (pseudo-figures run only when requested)")
 	ablate := flag.String("ablate", "", "ablation to run (bands,delay,cfo,sparsity,separation, or 'all')")
 	trials := flag.Int("trials", 0, "trials per condition (0 = experiment default)")
 	seed := flag.Int64("seed", 1, "campaign seed")

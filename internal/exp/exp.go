@@ -64,6 +64,14 @@ type Result struct {
 	Header  []string           `json:"header"`
 	Rows    [][]string         `json:"rows"`
 	Metrics map[string]float64 `json:"metrics"` // headline numbers, keyed for EXPERIMENTS.md
+	// CapRate, when set, is the fraction of the campaign's profile
+	// solves that hit their iteration cap instead of converging
+	// (tof.Estimate.Converged == false). Iteration-capped solves used to
+	// be indistinguishable from converged ones in campaign output; the
+	// solver-facing campaigns now report the rate so BENCH_*.json
+	// snapshots expose it, and bench-smoke asserts it stays ~0 under the
+	// noise-adaptive stopping rule.
+	CapRate *float64 `json:"cap_rate,omitempty"`
 }
 
 // String renders the result as an aligned text table.

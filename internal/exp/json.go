@@ -8,7 +8,9 @@ import (
 // WriteJSON renders campaign results as an indented JSON array so the
 // tables the binaries print are also machine-readable (the BENCH_*.json
 // trajectory). The encoding is the Result struct verbatim: id, title,
-// header, rows, and the headline metrics map.
+// header, rows, the headline metrics map, and — for campaigns that
+// track solver convergence — the cap_rate field distinguishing
+// iteration-capped solves from converged ones.
 func WriteJSON(w io.Writer, results []*Result) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

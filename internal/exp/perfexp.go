@@ -39,7 +39,14 @@ func PerfSolver(o Options) *Result {
 	if err != nil {
 		panic(err) // static geometry; cannot fail
 	}
-	opts := ndft.InvertOptions{MaxIter: 4000}
+	// The snapshot drives Plan.Solve directly (no CSI pairs to measure a
+	// spread from), so it supplies the injected noise's true norm
+	// σ·√(2n) as the per-sweep floor — the quantity the tof layer's
+	// pair-spread estimator measures in production. The solves therefore
+	// run the production noise-adaptive gap stop.
+	const noiseSigma = 0.05
+	wNorm := noiseSigma * math.Sqrt(2*float64(len(freqs)))
+	opts := ndft.InvertOptions{MaxIter: 4000, NoiseFloor: wNorm}
 	rng := rand.New(rand.NewSource(o.Seed))
 
 	// measure returns one sweep's h̃² measurement for a direct path at
@@ -54,7 +61,7 @@ func PerfSolver(o Options) *Result {
 				ph := -2 * 2 * math.Pi * f * delays[k] * 1e-9
 				h[i] += dsp.FromPolar(gains[k], ph)
 			}
-			h[i] += complex(rng.NormFloat64()*0.05, rng.NormFloat64()*0.05)
+			h[i] += complex(rng.NormFloat64()*noiseSigma, rng.NormFloat64()*noiseSigma)
 		}
 		return h
 	}
@@ -75,6 +82,7 @@ func PerfSolver(o Options) *Result {
 	}
 	res.Metrics = map[string]float64{}
 	const sweepDt = 0.084 // seconds per full band sweep (Fig. 9a median)
+	solves, capped := 0, 0
 	for _, sc := range scenarios {
 		var coldIters, warmIters []float64
 		var coldNs, warmNs float64
@@ -90,6 +98,10 @@ func PerfSolver(o Options) *Result {
 			}
 			coldNs += float64(time.Since(t0))
 			coldIters = append(coldIters, float64(cold.Iterations))
+			solves++
+			if !cold.Converged {
+				capped++
+			}
 			if warmSeed == nil {
 				// The first sweep has nothing to warm from; seed the warm
 				// chain from the cold solve rather than repeating it, and
@@ -103,6 +115,10 @@ func PerfSolver(o Options) *Result {
 				}
 				warmNs += float64(time.Since(t0))
 				warmIters = append(warmIters, float64(warm.Iterations))
+				solves++
+				if !warm.Converged {
+					capped++
+				}
 				warmSeed = append(warmSeed[:0], warm.Profile...)
 			}
 			// Drift the target between sweeps: c·Δt of radial motion.
@@ -125,6 +141,11 @@ func PerfSolver(o Options) *Result {
 		if wi > 0 {
 			res.Metrics["warm_speedup_iters_"+key] = ci / wi
 		}
+	}
+	if solves > 0 {
+		rate := float64(capped) / float64(solves)
+		res.Metrics["cap_rate"] = rate
+		res.CapRate = &rate
 	}
 	return res
 }

@@ -1,0 +1,127 @@
+package ndft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chronos/internal/dsp"
+	"chronos/internal/wifi"
+)
+
+func noisePlan(t testing.TB) *Plan {
+	t.Helper()
+	pl, err := NewPlan(wifi.Centers(wifi.Bands5GHz()), TauGrid(30e-9, 0.25e-9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func noiseVec(rng *rand.Rand, n int, sigma float64) dsp.Vec {
+	h := make(dsp.Vec, n)
+	for i := range h {
+		h[i] = complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+	}
+	return h
+}
+
+// TestNoiseFloorCalibration pins the Rayleigh calibration: on pure
+// complex Gaussian noise the estimator must recover the true noise norm
+// E‖w‖ = σ·√(2n) within a modest factor (adjacent grid cells share
+// correlated adjoint samples, so the effective sample count is well
+// below the grid size and some spread is expected).
+func TestNoiseFloorCalibration(t *testing.T) {
+	pl := noisePlan(t)
+	n, _ := pl.Dims()
+	rng := rand.New(rand.NewSource(2))
+	for _, sigma := range []float64{0.01, 0.1, 1, 25} {
+		truth := sigma * math.Sqrt(2*float64(n))
+		for trial := 0; trial < 3; trial++ {
+			got := pl.NoiseFloor(noiseVec(rng, n, sigma))
+			if got < 0.4*truth || got > 2.5*truth {
+				t.Errorf("sigma=%v trial %d: NoiseFloor %v, want within [0.4, 2.5]× of %v", sigma, trial, got, truth)
+			}
+		}
+	}
+}
+
+// TestNoiseFloorEdgeCases covers the degenerate inputs.
+func TestNoiseFloorEdgeCases(t *testing.T) {
+	pl := noisePlan(t)
+	n, _ := pl.Dims()
+	if got := pl.NoiseFloor(make(dsp.Vec, n)); got != 0 {
+		t.Errorf("zero measurement: NoiseFloor %v, want 0", got)
+	}
+	if got := pl.NoiseFloor(make(dsp.Vec, 3)); !math.IsNaN(got) {
+		t.Errorf("wrong length: NoiseFloor %v, want NaN", got)
+	}
+}
+
+// FuzzNoiseFloor pins the estimator's two defining properties over
+// random noise draws and sparse on-grid signal contamination:
+//
+//   - scale equivariance: NoiseFloor(c·h) = c·NoiseFloor(h) — robust
+//     order statistics are positively homogeneous, so the estimate
+//     carries no absolute-scale assumptions;
+//   - off-support purity: a sparse signal lifts a minority of grid
+//     cells (its support and their strong sidelobes), and the MAD's
+//     breakdown point keeps the scale tracking the noise law of the
+//     remaining cells — contamination by a signal comparable to the
+//     noise moves the estimate by a bounded factor, never
+//     proportionally to the signal.
+func FuzzNoiseFloor(f *testing.F) {
+	f.Add(int64(1), 0.1, 0.05, 3.0, 11.0)
+	f.Add(int64(7), 1.0, 0.9, 8.5, 22.0)
+	f.Add(int64(42), 0.02, 0.0, 5.0, 5.0)
+	pl, err := NewPlan(wifi.Centers(wifi.Bands5GHz()), TauGrid(30e-9, 0.25e-9))
+	if err != nil {
+		f.Fatal(err)
+	}
+	n, _ := pl.Dims()
+	f.Fuzz(func(t *testing.T, seed int64, sigma, gainFrac, d1, d2 float64) {
+		if !(sigma > 1e-6 && sigma < 1e3) || math.IsNaN(gainFrac) || math.IsNaN(d1) || math.IsNaN(d2) {
+			t.Skip()
+		}
+		// Contaminating paths: amplitudes bounded by half the noise sigma
+		// so the signal's correlation footprint (which concentrates n-fold
+		// atop its support and sidelobes) stays a minority perturbation —
+		// the regime the purity property is stated for.
+		gain := math.Abs(gainFrac)
+		if gain > 1 {
+			gain = 1
+		}
+		gain *= 0.5 * sigma
+		clampDelay := func(d float64) float64 {
+			d = math.Abs(d)
+			return math.Mod(d, 29) * 1e-9
+		}
+		rng := rand.New(rand.NewSource(seed))
+		h := noiseVec(rng, n, sigma)
+		pure := pl.NoiseFloor(append(dsp.Vec(nil), h...))
+		for i, fr := range pl.Freqs {
+			for _, d := range []float64{clampDelay(d1), clampDelay(d2)} {
+				ph := math.Mod(-2*math.Pi*fr*d, 2*math.Pi)
+				h[i] += dsp.FromPolar(gain, ph)
+			}
+		}
+		got := pl.NoiseFloor(h)
+		if math.IsNaN(got) || got < 0 {
+			t.Fatalf("NoiseFloor = %v on finite input", got)
+		}
+		// Scale equivariance (on the contaminated vector).
+		const c = 37.5
+		scaled := make(dsp.Vec, n)
+		for i := range h {
+			scaled[i] = h[i] * complex(c, 0)
+		}
+		if want, gotC := c*got, pl.NoiseFloor(scaled); math.Abs(gotC-want) > 1e-6*math.Abs(want)+1e-12 {
+			t.Errorf("scale equivariance: NoiseFloor(c·h) = %v, want %v", gotC, want)
+		}
+		// Off-support purity: noise-level signal must not swing the
+		// estimate beyond a bounded factor of the pure-noise estimate.
+		if got < pure/3 || got > pure*3 {
+			t.Errorf("off-support purity: contaminated estimate %v vs pure %v (gain %v, sigma %v)", got, pure, gain, sigma)
+		}
+	})
+}

@@ -71,6 +71,8 @@ type workspace struct {
 	yRe, yIm       []float64 // FISTA extrapolation point (m)
 	active         []int     // support of the extrapolation point (≤ m)
 	idx            []int     // restricted working set for warm solves (≤ m)
+	supp           []int     // support of the iterate at a gap check (≤ m)
+	corr           []float64 // correlation magnitudes for the noise MAD (≤ m)
 }
 
 // NewPlan precomputes the NDFT dictionary, its adjoint, and the ISTA
@@ -121,6 +123,7 @@ func NewPlan(freqs, taus []float64) (*Plan, error) {
 			prevRe: make([]float64, m), prevIm: make([]float64, m),
 			yRe: make([]float64, m), yIm: make([]float64, m),
 			active: make([]int, 0, m), idx: make([]int, 0, m),
+			supp: make([]int, 0, m), corr: make([]float64, 0, m),
 		}
 	}
 	return pl, nil
@@ -144,6 +147,53 @@ const warmDilate = 8
 // solve; an excluded cell marginally above α would carry a negligible
 // coefficient, so a small slack avoids needless full-grid fallbacks.
 const kktSlack = 1.02
+
+// gapEvery and gapFine are the duality-gap check cadences, in
+// iterations. A check costs about one iteration over the same working
+// set (one sparse forward plus one adjoint pass), so the coarse cadence
+// bounds the overhead near 1/gapEvery while the dual-feasibility gate
+// is still closed; once a check observes the gate open (the support has
+// settled and the stop is near), the cadence tightens to gapFine so the
+// stop lands close to the actual tolerance crossing instead of up to a
+// whole coarse period past it.
+const (
+	gapEvery = 25
+	gapFine  = 5
+)
+
+// gapDualGate is the minimum dual-feasibility scaling s = α/‖Fᴴr‖∞ at
+// which a gap check may stop the solve. Early iterations leave signal
+// in the residual, which makes the scaled dual point loose and the gap
+// bound slack; requiring the gradient to be nearly below α first means
+// the support is essentially settled and the remaining work is
+// amplitude refinement the noise floor bounds.
+const gapDualGate = 0.85
+
+// contDecay is the per-iteration α-continuation decay, and
+// contStallDecay the accelerated decay applied when the iterate has
+// already converged (‖Δp‖ < ε) at the current continuation threshold:
+// the Epsilon exit is gated on the schedule having reached the target α,
+// so idling through the remaining schedule at the slow decay would burn
+// budget making no progress.
+const (
+	contDecay      = 0.97
+	contStallDecay = 0.7
+)
+
+// polishDilate is the working-set dilation around the support of a
+// gap-stopped iterate for the amplitude-polish pass, and polishBudget
+// its iteration cap. A gap stop certifies the objective within the
+// noise energy, but the amplitudes on the found support are still
+// mid-trajectory; polishing that support (a restricted solve at the
+// tight iterate tolerance) canonicalizes the result — any two
+// trajectories that stop with the same support converge to the same
+// restricted optimum — and sharpens peak magnitudes for downstream
+// dominance tests, at a cost proportional to the support size rather
+// than the grid.
+const (
+	polishDilate = 3
+	polishBudget = 600
+)
 
 // Solve runs Algorithm 1 on measurement h. warm, when non-nil, is an
 // initial iterate on the plan's delay grid — typically the previous
@@ -258,6 +308,72 @@ func (pl *Plan) Solve(h dsp.Vec, opts InvertOptions, warm dsp.Vec, dst *Result) 
 	res := dst
 	res.Taus = pl.Taus
 	res.Iterations, res.Converged, res.Work = 0, false, 0
+	res.GapAtStop, res.NoiseFloor = 0, opts.NoiseFloor
+	// The gap rule needs a tolerance to stop against: the caller's
+	// per-sweep noise estimate or an absolute GapTol. Without either the
+	// checks could never pass, so they are skipped entirely and the
+	// iterate rule decides alone.
+	useGap := opts.Stop == StopGap && !opts.PlainISTA &&
+		(opts.GapTol > 0 || opts.NoiseFloor > 0)
+	gapStopped := false
+
+	// gapCheck measures the LASSO duality gap of the current iterate over
+	// the grid cells in set and reports whether the solve may stop: the
+	// scaled residual θ = min(1, α/‖Fᴴr‖∞)·r is dual feasible (on the
+	// restricted set; the excluded cells are audited by the KKT pass), so
+	//
+	//	gap = ½‖r‖² + α‖p‖₁ + ½‖θ‖² + Re⟨θ, h̃⟩
+	//
+	// bounds the objective suboptimality. The tolerance is the noise
+	// energy ½‖w‖² (scaled by GapScale) from the caller's per-sweep
+	// estimate: once the objective is certified within the energy the
+	// noise contributes, the remaining iterations fit noise, not paths.
+	// A check costs about one iteration over the same set, paid once per
+	// gapEvery. GapAtStop refreshes on every check, so even
+	// iteration-capped solves report their last certified gap.
+	gapCheck := func(set []int) (bool, float64) {
+		// Residual at the iterate p: the iteration loop's residual is
+		// taken at the extrapolation point y, which is not the point the
+		// gap certifies. Both scratch residuals are recomputed next
+		// iteration, so reusing them here is safe.
+		w.supp = w.supp[:0]
+		var l1 float64
+		for _, j := range set {
+			if w.pRe[j] != 0 || w.pIm[j] != 0 {
+				w.supp = append(w.supp, j)
+				l1 += math.Hypot(w.pRe[j], w.pIm[j])
+			}
+		}
+		pl.forwardResid(w, w.pRe, w.pIm, w.supp)
+		var resSq, rh float64
+		for i := 0; i < n; i++ {
+			resSq += w.residRe[i]*w.residRe[i] + w.resIm[i]*w.resIm[i]
+			rh += w.residRe[i]*w.hRe[i] + w.resIm[i]*w.hIm[i]
+		}
+		var maxSq float64
+		for _, j := range set {
+			gr, gi := cdot(pl.fhRe[j*n:(j+1)*n], pl.fhIm[j*n:(j+1)*n], w.residRe, w.resIm)
+			if sq := gr*gr + gi*gi; sq > maxSq {
+				maxSq = sq
+			}
+		}
+		res.Work += int64(len(set) + len(w.supp))
+		gInf := math.Sqrt(maxSq)
+		s := 1.0
+		if gInf > alpha && alpha > 0 {
+			s = alpha / gInf
+		}
+		gap := 0.5*resSq + alpha*l1 + 0.5*s*s*resSq + s*rh
+		if gap < 0 {
+			gap = 0 // rounding on an essentially optimal iterate
+		}
+		res.GapAtStop = gap
+		tol := opts.GapTol
+		if tol == 0 {
+			tol = 0.5 * opts.GapScale * opts.NoiseFloor * opts.NoiseFloor
+		}
+		return s >= gapDualGate && gap <= tol, s
+	}
 
 	// iterate runs Algorithm 1 over the grid cells in set (the iterate
 	// must be zero outside it), starting the continuation threshold at
@@ -266,7 +382,20 @@ func (pl *Plan) Solve(h dsp.Vec, opts InvertOptions, warm dsp.Vec, dst *Result) 
 	// restricted working-set solves (see below).
 	iterate := func(set []int, a0 float64, budget int, allowRestart bool) int {
 		curAlpha := a0
+		// The continuation schedule must hand the target α a usable slice
+		// of the budget: with a forced tiny α (the sparsity ablation) the
+		// default decay could still be ramping when the budget expires,
+		// and the Epsilon exit — gated on curAlpha == alpha — could then
+		// never fire. Steepen the decay so the ramp spends at most half
+		// the budget.
+		decay := contDecay
+		if a0 > alpha && alpha > 0 && budget > 0 {
+			if need := math.Log(alpha/a0) / math.Log(decay); need > float64(budget)/2 {
+				decay = math.Exp(2 * math.Log(alpha/a0) / float64(budget))
+			}
+		}
 		tMom := 1.0
+		checkAt := gapEvery
 		res.Converged = false
 		for iter := 1; iter <= budget; iter++ {
 			copy(w.prevRe, w.pRe)
@@ -365,9 +494,16 @@ func (pl *Plan) Solve(h dsp.Vec, opts InvertOptions, warm dsp.Vec, dst *Result) 
 					}
 				}
 				tMom = tNext
-				// Decay the continuation threshold toward the target α.
+				// Decay the continuation threshold toward the target α,
+				// jumping ahead when the iterate has already stalled at
+				// the current threshold (further same-α iterations are
+				// no-ops the Epsilon exit cannot act on yet).
 				if curAlpha > alpha {
-					curAlpha *= 0.97
+					d := decay
+					if math.Sqrt(diffSq) < opts.Epsilon {
+						d = contStallDecay
+					}
+					curAlpha *= d
 					if curAlpha < alpha {
 						curAlpha = alpha
 					}
@@ -378,6 +514,19 @@ func (pl *Plan) Solve(h dsp.Vec, opts InvertOptions, warm dsp.Vec, dst *Result) 
 			if math.Sqrt(diffSq) < opts.Epsilon && curAlpha == alpha {
 				res.Converged = true
 				return iter
+			}
+			if useGap && iter >= checkAt {
+				stop, s := gapCheck(set)
+				if stop {
+					res.Converged = true
+					gapStopped = true
+					return iter
+				}
+				if s >= gapDualGate {
+					checkAt = iter + gapFine
+				} else {
+					checkAt = iter + gapEvery
+				}
 			}
 		}
 		return budget
@@ -394,6 +543,62 @@ func (pl *Plan) Solve(h dsp.Vec, opts InvertOptions, warm dsp.Vec, dst *Result) 
 		pl.forwardResid(w, w.pRe, w.pIm, w.active)
 	}
 
+	// polish canonicalizes a gap-stopped iterate: a restricted solve at
+	// the tight iterate tolerance over the stopped support (dilated by
+	// polishDilate cells), costing O(support) per iteration. The gap stop
+	// decides *when* the dense work may end; the polish pins *where* the
+	// iterate lands — any two trajectories that stop with the same
+	// support converge to the same restricted optimum, which is what
+	// keeps warm-started and cold fixes in agreement under early
+	// stopping, and sharpens the support amplitudes the downstream
+	// dominance tests read.
+	polish := func() {
+		if !gapStopped {
+			return
+		}
+		gapStopped = false
+		w.supp = w.supp[:0]
+		last := -1
+		for j := 0; j < m; j++ {
+			if w.pRe[j] == 0 && w.pIm[j] == 0 {
+				continue
+			}
+			lo, hi := j-polishDilate, j+polishDilate
+			if lo <= last {
+				lo = last + 1
+			}
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > m-1 {
+				hi = m - 1
+			}
+			for k := lo; k <= hi; k++ {
+				w.supp = append(w.supp, k)
+			}
+			last = hi
+		}
+		if len(w.supp) == 0 || len(w.supp) >= m {
+			return
+		}
+		// Fresh momentum sequence seeded at p (y ≡ p is zero outside the
+		// polish set, since the set contains the whole support).
+		copy(w.yRe, w.pRe)
+		copy(w.yIm, w.pIm)
+		w.active = w.active[:0]
+		for _, j := range w.supp {
+			if w.pRe[j] != 0 || w.pIm[j] != 0 {
+				w.active = append(w.active, j)
+			}
+		}
+		useGap = false // the polish runs pure iterate-rule
+		res.Iterations += iterate(w.supp, alpha, polishBudget, true)
+		useGap = true
+		// The solve converged by its gap certificate whether or not the
+		// polish met the tight tolerance inside its budget.
+		res.Converged = true
+	}
+
 	// α-continuation: start with a large threshold that admits only the
 	// strongest atoms and decay toward the target α, steering the iterate
 	// into the basin of the sparse global optimum before fine fitting
@@ -405,6 +610,7 @@ func (pl *Plan) Solve(h dsp.Vec, opts InvertOptions, warm dsp.Vec, dst *Result) 
 		a0 = corrInf * 0.5
 	}
 	res.Iterations = iterate(idx, a0, opts.MaxIter, restricted)
+	polish()
 	finishResid()
 
 	if restricted {
@@ -425,6 +631,7 @@ func (pl *Plan) Solve(h dsp.Vec, opts InvertOptions, warm dsp.Vec, dst *Result) 
 			a0 = corrInf * 0.5
 		}
 		res.Iterations += iterate(pl.allIdx, a0, opts.MaxIter, false)
+		polish()
 		finishResid()
 	}
 

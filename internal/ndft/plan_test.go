@@ -271,3 +271,93 @@ func BenchmarkPlanSolveWarmStart(b *testing.B) {
 		b.ReportMetric(float64(res.Iterations), "iters/op")
 	}
 }
+
+// TestGapStopWarmColdEquivalence is the PR-5 acceptance fixture for the
+// noise-adaptive stopping rule, at three SNRs: with a per-sweep noise
+// floor supplied, both cold and warm solves must stop early via the
+// duality-gap certificate (far below the fixed-tolerance iteration
+// counts), report convergence, and agree on the first-peak delay — the
+// polish pass canonicalizes the stopped iterate, so early stopping
+// trades iterations, not answers.
+func TestGapStopWarmColdEquivalence(t *testing.T) {
+	freqs := wifi.Centers(wifi.Bands5GHz())
+	pl, err := NewPlan(freqs, TauGrid(20e-9, 0.5e-9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := pl.Dims()
+	for _, sigma := range []float64{0.02, 0.05, 0.1} {
+		rng := rand.New(rand.NewSource(9))
+		noisy := func() dsp.Vec {
+			h := synthChannel(freqs, []float64{7, 11.2}, []float64{1, 0.6})
+			for i := range h {
+				h[i] += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+			}
+			return h
+		}
+		wNorm := sigma * math.Sqrt(2*float64(n))
+		opts := InvertOptions{MaxIter: 4000, NoiseFloor: wNorm}
+		seed, err := pl.Solve(noisy(), opts, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := noisy()
+		cold, err := pl.Solve(h, opts, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := pl.Solve(h, opts, seed.Profile, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := pl.Solve(h, InvertOptions{MaxIter: 4000, Stop: StopIterate}, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cold.Converged || !warm.Converged {
+			t.Fatalf("sigma=%v: gap solves did not converge (cold %v, warm %v)", sigma, cold.Converged, warm.Converged)
+		}
+		if cold.GapAtStop <= 0 {
+			t.Errorf("sigma=%v: cold gap telemetry missing (GapAtStop=%v)", sigma, cold.GapAtStop)
+		}
+		if cold.Work >= full.Work {
+			t.Errorf("sigma=%v: gap-stopped cold work %d not below fixed-tolerance work %d", sigma, cold.Work, full.Work)
+		}
+		if warm.Work*2 >= cold.Work {
+			t.Errorf("sigma=%v: warm work %d not clearly below cold %d", sigma, warm.Work, cold.Work)
+		}
+		pc, okC := cold.FirstPeakDelay(0.3)
+		pw, okW := warm.FirstPeakDelay(0.3)
+		pf, okF := full.FirstPeakDelay(0.3)
+		if !okC || !okW || !okF {
+			t.Fatalf("sigma=%v: missing peaks", sigma)
+		}
+		if math.Abs(pc-pw) > 0.2e-9 {
+			t.Errorf("sigma=%v: warm first peak %v vs cold %v", sigma, pw, pc)
+		}
+		if math.Abs(pc-pf) > 0.5e-9 {
+			t.Errorf("sigma=%v: gap-stopped first peak %v vs fixed-tolerance %v", sigma, pc, pf)
+		}
+	}
+}
+
+// TestGapTolOverride pins the absolute-tolerance escape hatch: a huge
+// GapTol stops almost immediately, a zero NoiseFloor with no GapTol
+// disables the gap rule entirely.
+func TestGapTolOverride(t *testing.T) {
+	pl, h := fig4Plan(t)
+	loose, err := pl.Solve(h, InvertOptions{MaxIter: 2000, GapTol: 1e12}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loose.Converged || loose.Iterations > 2*gapEvery+polishBudget {
+		t.Errorf("huge GapTol: iterations %d, converged %v — want near-immediate stop", loose.Iterations, loose.Converged)
+	}
+	plain, err := pl.Solve(h, InvertOptions{MaxIter: 2000}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.GapAtStop != 0 {
+		t.Errorf("no tolerance source: gap checks ran anyway (GapAtStop=%v)", plain.GapAtStop)
+	}
+}

@@ -64,17 +64,18 @@ type windowRefit struct {
 	freqs []float64
 	h     dsp.Vec
 	power int
+	noise float64 // per-sweep ‖w‖₂ estimate; rotation preserves it
 	rot   dsp.Vec
 	dst   *ndft.Result
 }
 
-func (e *Estimator) newWindowRefit(freqs []float64, h dsp.Vec, power int, s *Sweep) (*windowRefit, error) {
+func (e *Estimator) newWindowRefit(freqs []float64, h dsp.Vec, power int, s *Sweep, noise float64) (*windowRefit, error) {
 	plan, key, err := e.windowPlan(freqs, power)
 	if err != nil {
 		return nil, err
 	}
 	return &windowRefit{
-		e: e, s: s, plan: plan, key: key, freqs: freqs, h: h, power: power,
+		e: e, s: s, plan: plan, key: key, freqs: freqs, h: h, power: power, noise: noise,
 		rot: make(dsp.Vec, len(h)), dst: &ndft.Result{},
 	}, nil
 }
@@ -83,14 +84,16 @@ func (e *Estimator) newWindowRefit(freqs []float64, h dsp.Vec, power int, s *Swe
 // with the delay origin shifted to cand−2 ns (clamped at 0): fitting on
 // [lo, lo+W] equals fitting the phase-rotated measurement h·e^{+j2πf·lo}
 // on [0, W], since a delay shift is a per-frequency rotation that
-// preserves the residual norm. hyp labels the alias hypothesis for the
-// sweep's per-hypothesis warm state: the window tracks the candidate, so
-// in window coordinates the profile barely moves between sweeps and the
-// previous converged window profile is an excellent seed (forceCold
-// bypasses the seed; the result still refreshes the warm state). Warm
-// seeding follows the same measured-efficacy policy as the main solve —
-// after warmStrikes consecutive warm refits that cost more than the cold
-// baseline, that hypothesis permanently reverts to cold starts.
+// preserves the residual norm. The candidate delay labels the alias
+// hypothesis for the sweep's per-hypothesis warm state (family-stable
+// nearest-candidate matching, see windowWarmState): the window tracks
+// the candidate, so in window coordinates the profile barely moves
+// between sweeps and the previous converged window profile is an
+// excellent seed (forceCold bypasses the seed; the result still
+// refreshes the warm state). Warm seeding follows the same
+// measured-efficacy policy as the main solve — after warmStrikes
+// consecutive warm refits that cost more than the cold baseline, that
+// hypothesis permanently reverts to cold starts.
 //
 // alpha, when nonzero, overrides the solver's per-measurement α
 // auto-scaling: residuals of competing hypotheses are only comparable
@@ -104,14 +107,28 @@ func (e *Estimator) newWindowRefit(freqs []float64, h dsp.Vec, power int, s *Swe
 // retaining their profiles as next-sweep warm seeds. w, when non-nil,
 // additionally scores the refit by the w-weighted residual (see
 // aliasWeights); otherwise the weighted score equals the plain one.
-func (wr *windowRefit) solve(hyp int, cand, alpha, eps float64, w []float64, forceCold bool) (refitScore, int64, error) {
+func (wr *windowRefit) solve(cand, alpha, eps float64, w []float64, forceCold bool) (refitScore, int64, error) {
 	rotateWindow(wr.freqs, wr.h, cand, float64(wr.power), wr.rot)
-	g := wr.s.windowWarmState(wr.key, hyp)
+	g := wr.s.windowWarmState(wr.key, cand)
+	// Without a usable noise estimate (or above the gap ceiling) the
+	// refit scores feed decisions whose margins sit near the score
+	// noise, and a warm-seeded score that lands on the other side of a
+	// margin than the cold score would make a warm stream decide
+	// differently than a cold one. Scoring those refits cold keeps
+	// warm-stream decisions exactly equal to cold-stream decisions where
+	// the evidence is thin; the warm savings concentrate in the regime
+	// where the margins have real slack.
+	if wr.noise <= 0 {
+		forceCold = true
+	}
 	var warm dsp.Vec
 	if g != nil && !forceCold && !g.off && len(g.profile) == len(wr.plan.Taus) {
 		warm = g.profile
 	}
-	res, err := wr.plan.Solve(wr.rot, ndft.InvertOptions{Alpha: alpha, Epsilon: eps, MaxIter: 600}, warm, wr.dst)
+	res, err := wr.plan.Solve(wr.rot, ndft.InvertOptions{
+		Alpha: alpha, Epsilon: eps, MaxIter: 600,
+		Stop: wr.e.cfg.Stop, GapScale: wr.e.cfg.GapScale, NoiseFloor: wr.noise,
+	}, warm, wr.dst)
 	if err != nil {
 		return refitScore{}, 0, err
 	}
@@ -167,27 +184,90 @@ func aliasWeights(freqs []float64, power int, period float64) []float64 {
 	return w
 }
 
-// aliasMargin is the conservative evidence margin shared by both ranking
-// chains: a refit hypothesis displaces the incumbent only when its
-// residual beats the incumbent's by this factor — residual comparisons
-// are noisy when the off-lattice channels are faded, so near-ties must
-// never flip decisions.
+// aliasMargin is the historical evidence margin of the vertex chain (and
+// the family chain's FixedThresholds ablation): a refit hypothesis
+// displaces the incumbent only when its residual beats the incumbent's
+// by this factor — residual comparisons are noisy when the off-lattice
+// channels are faded, so near-ties must never flip decisions.
 const aliasMargin = 0.85
 
-// anchorMargin is how decisively another family's folded mass must beat
-// the tallest vertex's family before it takes over as the window anchor.
-// Folding sums mass across ~MaxTau/AliasPeriod periods, so two unrelated
-// noise bumps that happen to share a residue can edge past a real path's
-// family; a genuine split or stranded path carries its full conserved
-// mass and clears the margin, chance alignments rarely do.
+// anchorMargin is the historical fixed margin for how decisively another
+// family's folded mass must beat the tallest vertex's family before it
+// takes over as the window anchor. Folding sums mass across
+// ~MaxTau/AliasPeriod periods, so two unrelated noise bumps that happen
+// to share a residue can edge past a real path's family; a genuine split
+// or stranded path carries its full conserved mass and clears the
+// margin, chance alignments rarely do.
 const anchorMargin = 1.3
 
-// refitFitGate bounds how much of the measurement a window refit may
-// leave unexplained before its residual comparisons stop being evidence:
-// when the best fit still strands over this fraction of ‖h‖ (deep NLOS,
-// low SNR, model mismatch), hypothesis residuals differ only by noise
-// and no refit outcome may overturn the profile's own placement.
+// refitFitGate is the historical fixed bound on how much of the
+// measurement a window refit may leave unexplained before its residual
+// comparisons stop being evidence: when the best fit still strands over
+// this fraction of ‖h‖ (deep NLOS, low SNR, model mismatch), hypothesis
+// residuals differ only by noise and no refit outcome may overturn the
+// profile's own placement.
 const refitFitGate = 0.35
+
+// evidenceGates bundles the alias-evidence thresholds one estimate uses:
+// the refit displacement margin, the anchor takeover margin, and the
+// refit fit-quality gate.
+type evidenceGates struct {
+	refitMargin  float64
+	anchorMargin float64
+	fitGate      float64
+}
+
+// fixedGates are the historical constants, tuned on the simulated
+// testbed at its standard campaign SNR (relative noise ≈ 0.05 per band
+// group). They remain the FixedThresholds ablation values and the
+// fallback when no per-sweep noise estimate exists.
+var fixedGates = evidenceGates{refitMargin: aliasMargin, anchorMargin: anchorMargin, fitGate: refitFitGate}
+
+// Slopes of the noise-adaptive evidence thresholds in the relative noise
+// estimate, anchored so that at the historical tuning point
+// (noiseRel ≈ 0.05) each gate reproduces its fixed constant:
+//
+//	refit margin  1 − 3·noiseRel   (0.85 at 0.05): cleaner sweeps make
+//	  residual comparisons sharper, so near-ties flip on thinner margins;
+//	  noisier sweeps must be more conservative.
+//	anchor margin 1 + 6·noiseRel   (1.3 at 0.05): folded-mass contrasts
+//	  blur as noise mass spreads across residues.
+//	fit gate      7·noiseRel       (0.35 at 0.05): the residual a refit
+//	  may leave unexplained and still count as evidence scales directly
+//	  with the noise the best possible fit must leave behind.
+//
+// Clamps keep degenerate estimates (near-noiseless fixtures, very deep
+// fades) inside the regime the chain was validated in.
+const (
+	refitMarginSlope = 3.0
+	anchorSlope      = 6.0
+	fitGateSlope     = 7.0
+)
+
+// gatesFor derives the estimate's evidence thresholds from the
+// per-sweep relative noise estimate, making the family chain
+// self-calibrating across SNR regimes; the historical constants remain
+// as the FixedThresholds ablation and the no-estimate fallback.
+func (e *Estimator) gatesFor(noiseRel float64) evidenceGates {
+	if e.cfg.FixedThresholds || noiseRel <= 0 {
+		return fixedGates
+	}
+	return evidenceGates{
+		refitMargin:  clampF(1-refitMarginSlope*noiseRel, 0.6, 0.97),
+		anchorMargin: clampF(1+anchorSlope*noiseRel, 1.1, 1.9),
+		fitGate:      clampF(fitGateSlope*noiseRel, 0.15, 0.6),
+	}
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
 
 // refitScore is one candidate's anchored refit outcome: the plain data
 // residual and the discrimination-weighted one (equal when the geometry
@@ -204,21 +284,32 @@ type refitScore struct {
 type aliasScorer struct {
 	wr       *windowRefit
 	hNorm    float64
-	alpha    float64 // shared sparsity penalty; set from the first candidate
+	gates    evidenceGates // noise-adaptive evidence thresholds
+	alpha    float64       // shared sparsity penalty; set from the first candidate
 	weights  []float64
 	memo     map[int]refitScore
 	memoCold map[int]refitScore // forced-cold confirmation scores
 	work     int64
 }
 
-func (e *Estimator) newAliasScorer(freqs []float64, h dsp.Vec, power int, s *Sweep) (*aliasScorer, error) {
-	wr, err := e.newWindowRefit(freqs, h, power, s)
+func (e *Estimator) newAliasScorer(freqs []float64, h dsp.Vec, power int, s *Sweep, noiseRel float64) (*aliasScorer, error) {
+	hNorm := dsp.Norm2(h)
+	// The refit solver floor follows the same gap ceiling as the main
+	// solve: deep-fade refits feed fragile residual comparisons and keep
+	// the precise rule. The evidence gates below still adapt — they are
+	// decision thresholds, not solve tolerances.
+	noise := noiseRel * hNorm
+	if noiseRel > gapNoiseCeil {
+		noise = 0
+	}
+	wr, err := e.newWindowRefit(freqs, h, power, s, noise)
 	if err != nil {
 		return nil, err
 	}
 	return &aliasScorer{
 		wr:      wr,
-		hNorm:   dsp.Norm2(h),
+		hNorm:   hNorm,
+		gates:   e.gatesFor(noiseRel),
 		weights: aliasWeights(freqs, power, e.cfg.AliasPeriod),
 		memo:    make(map[int]refitScore, 4),
 	}, nil
@@ -253,8 +344,7 @@ func (sc *aliasScorer) score(cand float64, forceCold bool) refitScore {
 	if sc.alpha == 0 {
 		sc.alpha = sc.referenceAlpha(cand)
 	}
-	hyp := int(math.Round(cand / cfg.AliasPeriod))
-	v, w, err := sc.wr.solve(hyp, cand, sc.alpha, 1e-3*sc.hNorm, sc.weights, forceCold && sc.wr.s.warm)
+	v, w, err := sc.wr.solve(cand, sc.alpha, 1e-3*sc.hNorm, sc.weights, forceCold && sc.wr.s.warm)
 	sc.work += w
 	out := refitScore{plain: math.Inf(1), weighted: math.Inf(1)}
 	if err == nil {
@@ -286,17 +376,21 @@ func (sc *aliasScorer) referenceAlpha(cand float64) float64 {
 }
 
 // trusted reports whether a refit outcome explains enough of the
-// measurement for its residual comparisons to carry evidence.
+// measurement for its residual comparisons to carry evidence. The gate
+// scales with the per-sweep noise estimate: at low SNR the best
+// possible fit strands more of ‖h‖, so a fixed gate would reject
+// genuine evidence there and accept noise-floor comparisons at high
+// SNR.
 func (sc *aliasScorer) trusted(r refitScore) bool {
-	return !math.IsInf(r.plain, 1) && r.plain <= refitFitGate*sc.hNorm
+	return !math.IsInf(r.plain, 1) && r.plain <= sc.gates.fitGate*sc.hNorm
 }
 
 // beats reports whether challenger fits decisively better than the
-// incumbent: the conservative margin on the discrimination-weighted
+// incumbent: the noise-adaptive margin on the discrimination-weighted
 // residual, plus a plain-residual sanity check so a weighted fluke on
 // faded bands cannot flip a decision the full measurement contradicts.
-func beats(challenger, incumbent refitScore) bool {
-	return challenger.weighted < aliasMargin*incumbent.weighted &&
+func (sc *aliasScorer) beats(challenger, incumbent refitScore) bool {
+	return challenger.weighted < sc.gates.refitMargin*incumbent.weighted &&
 		challenger.plain < incumbent.plain
 }
 
@@ -318,9 +412,12 @@ func beats(challenger, incumbent refitScore) bool {
 //     pure-raster geometries to the solver's own placement.
 //
 // ok is false when folding is degenerate for the grid or the refits
-// failed; callers fall back to the vertex chain.
-func (e *Estimator) familyRank(freqs []float64, h dsp.Vec, power int, prof *Profile, s *Sweep) (float64, bool, int64) {
+// failed; callers fall back to the vertex chain. noiseRel is the
+// group's per-sweep relative noise estimate, from which the evidence
+// thresholds (anchor margin, refit margin, fit gate) are derived.
+func (e *Estimator) familyRank(freqs []float64, h dsp.Vec, power int, prof *Profile, s *Sweep, noiseRel float64) (float64, bool, int64) {
 	step := e.cfg.GridStep
+	gates := e.gatesFor(noiseRel)
 	cells := int(math.Round(e.cfg.AliasPeriod / step))
 	if cells < 4 || cells >= len(prof.Magnitude) {
 		return 0, false, 0
@@ -375,7 +472,7 @@ func (e *Estimator) familyRank(freqs []float64, h dsp.Vec, power int, prof *Prof
 			byMass, byMassVal = p, m
 		}
 	}
-	if byMassVal > anchorMargin*anchorMass || anchorMass <= 0 {
+	if byMassVal > gates.anchorMargin*anchorMass || anchorMass <= 0 {
 		anchor, anchorMass = byMass, byMassVal
 	}
 	if anchorMass <= 0 {
@@ -393,7 +490,7 @@ func (e *Estimator) familyRank(freqs []float64, h dsp.Vec, power int, prof *Prof
 		}
 	}
 
-	scorer, err := e.newAliasScorer(freqs, h, power, s)
+	scorer, err := e.newAliasScorer(freqs, h, power, s, noiseRel)
 	if err != nil {
 		return 0, false, 0
 	}
@@ -408,11 +505,11 @@ func (e *Estimator) familyRank(freqs []float64, h dsp.Vec, power int, prof *Prof
 		firstScore := scorer.score(first.X, false)
 		if scorer.trusted(firstScore) {
 			for _, v := range virtuals {
-				if vs := scorer.score(v, false); scorer.trusted(vs) && beats(vs, firstScore) {
+				if vs := scorer.score(v, false); scorer.trusted(vs) && scorer.beats(vs, firstScore) {
 					// Admitting a virtual candidate is a decisive action:
 					// confirm it on cold refits before acting.
 					fsC, vsC := scorer.score(first.X, true), scorer.score(v, true)
-					if scorer.trusted(fsC) && scorer.trusted(vsC) && beats(vsC, fsC) {
+					if scorer.trusted(fsC) && scorer.trusted(vsC) && scorer.beats(vsC, fsC) {
 						return e.placeCandidate(scorer, v), true, scorer.work
 					}
 				}
@@ -480,7 +577,7 @@ func (e *Estimator) placeCandidate(scorer *aliasScorer, cand float64) float64 {
 			if c < -1e-9 || c > e.cfg.MaxTau {
 				continue
 			}
-			if sc := scorer.score(c, forceCold); beats(sc, base) && sc.weighted < bestScore.weighted {
+			if sc := scorer.score(c, forceCold); scorer.beats(sc, base) && sc.weighted < bestScore.weighted {
 				best, bestScore = c, sc
 			}
 		}
@@ -506,12 +603,15 @@ func (e *Estimator) placeCandidate(scorer *aliasScorer, cand float64) float64 {
 // period (24 ns < 25 ns), so the window still holds at most one
 // hypothesis. Returns the resolved delay and the solver work spent.
 //
-// This is the RankVertex ablation baseline: historical per-solve α and
-// unweighted residuals. The family chain never calls it — its fallback
-// placement runs placeCandidate, which shares α across hypotheses,
-// weights residuals, gates on fit quality, and cold-confirms flips.
-func (e *Estimator) disambiguateAlias(freqs []float64, h dsp.Vec, power int, tau float64, s *Sweep) (float64, int64) {
-	wr, err := e.newWindowRefit(freqs, h, power, s)
+// This is the RankVertex ablation baseline: historical per-solve α,
+// unweighted residuals, and the fixed displacement margin. The family
+// chain never calls it — its fallback placement runs placeCandidate,
+// which shares α across hypotheses, weights residuals, gates on fit
+// quality with noise-adaptive thresholds, and cold-confirms flips.
+// noiseFloor still feeds the solver's stopping rule: the ranking
+// ablation isolates the ranking, not the convergence model.
+func (e *Estimator) disambiguateAlias(freqs []float64, h dsp.Vec, power int, tau float64, s *Sweep, noiseFloor float64) (float64, int64) {
+	wr, err := e.newWindowRefit(freqs, h, power, s, noiseFloor)
 	if err != nil {
 		return tau, 0
 	}
@@ -522,11 +622,10 @@ func (e *Estimator) disambiguateAlias(freqs []float64, h dsp.Vec, power int, tau
 		if cand < -1e-9 || cand > e.cfg.MaxTau {
 			continue
 		}
-		// Warm labels use the candidate's absolute period index — the
-		// same convention as aliasScorer — so vertex-mode streams keep
-		// one consistent warm-state keying.
-		hyp := int(math.Round(cand / e.cfg.AliasPeriod))
-		resid, w, err := wr.solve(hyp, cand, e.cfg.Alpha, 0, nil, false)
+		// Warm labels use the candidate delay — the same family-stable
+		// convention as aliasScorer — so vertex-mode streams keep one
+		// consistent warm-state keying.
+		resid, w, err := wr.solve(cand, e.cfg.Alpha, 0, nil, false)
 		work += w
 		if err != nil {
 			continue

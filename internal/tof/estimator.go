@@ -75,6 +75,21 @@ type Config struct {
 	// alias ablation). With AliasPeriod disabled both reduce to the
 	// plain windowed first-peak rule.
 	Ranking PeakRanking
+	// Stop selects the solver's termination rule (default ndft.StopGap:
+	// stop once a duality-gap bound certifies the objective within the
+	// per-sweep noise energy, estimated from the spread of repeated CSI
+	// pairs per band). ndft.StopIterate restores the fixed
+	// 1e−6·‖h‖ iterate tolerance — the convergence ablation path, which
+	// routinely runs to the iteration cap at campaign SNR.
+	Stop ndft.StopRule
+	// GapScale scales the noise-derived duality-gap tolerance (0 = the
+	// solver default, 0.7). The SNR-sweep ablation varies it.
+	GapScale float64
+	// FixedThresholds pins the alias-evidence thresholds (refit margin,
+	// fit gate, anchor margin) to their historical constants instead of
+	// deriving them from the per-sweep noise estimate — the threshold
+	// ablation path.
+	FixedThresholds bool
 	// ForwardOnly disables the §7 CFO cancellation (ablation).
 	ForwardOnly bool
 	// CalibrationOffset is subtracted from every τ estimate; it absorbs
@@ -162,6 +177,23 @@ type Estimate struct {
 	// AliasWork is the portion of Work spent in alias-window refits
 	// (family placement or vertex disambiguation).
 	AliasWork int64
+	// Iterations totals the main profile inversions' solver iterations
+	// across band groups (alias refits are counted in AliasWork, not
+	// here). Deterministic, like Work.
+	Iterations int
+	// Converged reports whether every group's main inversion met its
+	// stopping rule. False means at least one solve ran to its iteration
+	// cap and returned its best iterate — the condition campaign
+	// summaries surface as cap-rate, previously indistinguishable from
+	// genuine convergence.
+	Converged bool
+	// GapAtStop is the largest certified LASSO duality gap at stop
+	// across the group inversions (0 when no gap check ran).
+	GapAtStop float64
+	// NoiseFloor is the largest per-group relative noise estimate
+	// ‖w‖₂/‖h‖₂ measured from the spread of repeated CSI pairs (0 when
+	// no band carried repeated pairs).
+	NoiseFloor float64
 }
 
 // ErrNoBands reports that no usable band measurements were supplied.
@@ -171,6 +203,11 @@ type bandMeas struct {
 	freq  float64
 	value complex128
 	power int
+	// noiseVar is the variance of the folded value's mean across the
+	// band's CSI pairs (total over real+imaginary components); noiseOK
+	// marks bands with at least two pairs, the minimum for a spread.
+	noiseVar float64
+	noiseOK  bool
 }
 
 // Sweep accumulates one band sweep incrementally: CSI pairs are folded
@@ -197,20 +234,55 @@ type Sweep struct {
 	warm       bool
 	warmGroups map[planKey]*warmGroup
 	// warmWindows carries the alias-refit warm state, keyed by window
-	// geometry and hypothesis index: the refit window tracks its
-	// candidate delay, so in window coordinates each hypothesis's
-	// profile is nearly stationary between sweeps and seeds its own next
-	// solve. Window profiles are never velocity-translated — the window
-	// origin already follows the moving candidate.
-	warmWindows map[aliasWarmKey]*warmGroup
+	// geometry with per-hypothesis seeds labeled by the candidate delay
+	// each refit window tracks: the window origin follows its candidate,
+	// so in window coordinates each hypothesis's profile is nearly
+	// stationary between sweeps and seeds its own next solve. Labeling
+	// by candidate (matched within a fraction of the alias period, see
+	// windowWarmState) is family-stable: two dominant families whose
+	// candidates share a period cell — the deep-NLOS refit case — keep
+	// distinct seeds, where the period-index labels this replaced made
+	// them collide, clobber each other's profiles, and trip the efficacy
+	// policy into reverting exactly those hypotheses to cold. Window
+	// profiles are never velocity-translated — the window origin already
+	// follows the moving candidate.
+	warmWindows map[planKey][]*windowSeed
+	// estSeq counts Estimate calls on this sweep stream; window seeds
+	// stamp it to drive least-recently-matched eviction.
+	estSeq int64
+	// foldScratch holds per-pair folded values while AddBand measures a
+	// band's mean and spread.
+	foldScratch dsp.Vec
 }
 
-// aliasWarmKey identifies one alias hypothesis's warm state: the window
-// plan geometry plus the hypothesis index within the refit.
-type aliasWarmKey struct {
-	key planKey
-	hyp int
+// windowSeed is one alias hypothesis's warm state, labeled by the
+// (slowly drifting) candidate delay its refit window tracks.
+type windowSeed struct {
+	cand float64 // τ-domain candidate the seed's window last anchored on
+	used int64   // Sweep.estSeq at the last match
+	g    warmGroup
 }
+
+// windowSeedTolFrac is the candidate-matching radius for window warm
+// seeds, as a fraction of the alias period: a seed is reused when the
+// new candidate lies within this distance of the delay the seed last
+// tracked. Inter-sweep drift is a small fraction of a nanosecond at
+// walking speeds, far inside the radius, while distinct families in one
+// period cell sit several nanoseconds apart and stay distinct.
+const windowSeedTolFrac = 0.1
+
+// windowSeedMax bounds the retained hypothesis seeds per window
+// geometry; beyond it the least-recently-matched seed is recycled.
+const windowSeedMax = 16
+
+// gapNoiseCeil is the relative-noise ceiling for the duality-gap stop:
+// groups whose per-sweep noise estimate exceeds this fraction of ‖h‖
+// solve with the precise iterate rule instead. Calibrated between the
+// campaign operating point (noiseRel ≈ 0.05 at 26 dB, where gap
+// stopping is accurate and reclaims most of the cold-solve latency) and
+// the deep-fade regime (noiseRel ≳ 0.2 at 12 dB, where two equally
+// gap-certified iterates can fold to different alias anchors).
+const gapNoiseCeil = 0.08
 
 // warmStrikes is how many consecutive unprofitable warm solves a group
 // tolerates before permanently reverting to cold starts. A single miss
@@ -344,22 +416,49 @@ func (s *Sweep) warmState(key planKey) *warmGroup {
 }
 
 // windowWarmState returns (creating on demand) the warm policy state for
-// one alias hypothesis of one window geometry, or nil when warm starting
-// is disabled on this sweep.
-func (s *Sweep) windowWarmState(key planKey, hyp int) *warmGroup {
+// the alias hypothesis tracking candidate delay cand on one window
+// geometry, or nil when warm starting is disabled on this sweep. Seeds
+// are matched to the nearest retained candidate within
+// windowSeedTolFrac of the alias period — the family-stable labeling —
+// and the matched seed re-anchors on the new candidate so it follows
+// the hypothesis as it drifts. Matching scans the geometry's seed list
+// in insertion order, so resolution is deterministic for a given
+// scoring sequence.
+func (s *Sweep) windowWarmState(key planKey, cand float64) *warmGroup {
 	if !s.warm {
 		return nil
 	}
 	if s.warmWindows == nil {
-		s.warmWindows = make(map[aliasWarmKey]*warmGroup, 4)
+		s.warmWindows = make(map[planKey][]*windowSeed, 2)
 	}
-	k := aliasWarmKey{key: key, hyp: hyp}
-	g := s.warmWindows[k]
-	if g == nil {
-		g = &warmGroup{}
-		s.warmWindows[k] = g
+	list := s.warmWindows[key]
+	var best *windowSeed
+	bestD := windowSeedTolFrac * s.est.cfg.AliasPeriod
+	for _, ws := range list {
+		if d := math.Abs(ws.cand - cand); d < bestD {
+			best, bestD = ws, d
+		}
 	}
-	return g
+	if best != nil {
+		best.cand = cand
+		best.used = s.estSeq
+		return &best.g
+	}
+	if len(list) >= windowSeedMax {
+		// Recycle the least-recently-matched seed rather than growing
+		// without bound on long multi-family streams.
+		victim := list[0]
+		for _, ws := range list[1:] {
+			if ws.used < victim.used {
+				victim = ws
+			}
+		}
+		*victim = windowSeed{cand: cand, used: s.estSeq}
+		return &victim.g
+	}
+	ws := &windowSeed{cand: cand, used: s.estSeq}
+	s.warmWindows[key] = append(list, ws)
+	return &ws.g
 }
 
 // AddBand folds the CSI pairs captured on one band into the sweep. Bands
@@ -383,11 +482,20 @@ func (s *Sweep) AddBand(b wifi.Band, pairs []csi.Pair) error {
 			return nil
 		}
 	}
-	v, power, err := BandValue(pairs, quirked, e.cfg.Interp, e.cfg.ForwardOnly)
+	// Fold the pairs inline (BandValue's internals) so the per-pair
+	// spread — the per-sweep noise estimate's raw material — is measured
+	// on the same values that produce the band mean.
+	power, total := bandPowers(quirked, e.cfg.ForwardOnly)
+	vals, err := foldValues(s.foldScratch, pairs, power, e.cfg.Interp, e.cfg.ForwardOnly)
 	if err != nil {
 		return err
 	}
-	s.meas = append(s.meas, bandMeas{freq: b.Center, value: v, power: power})
+	s.foldScratch = vals
+	v, noiseVar, noiseOK := pairSpread(vals)
+	s.meas = append(s.meas, bandMeas{
+		freq: b.Center, value: v, power: total,
+		noiseVar: noiseVar, noiseOK: noiseOK,
+	})
 	return nil
 }
 
@@ -427,6 +535,7 @@ func (e *Estimator) estimate(s *Sweep) (*Estimate, error) {
 	if len(meas) == 0 {
 		return nil, ErrNoBands
 	}
+	s.estSeq++
 
 	// Group by channel power: each group gets its own inversion because
 	// the delay supports differ (h̃ᵖ has delays that are sums of p path
@@ -444,6 +553,9 @@ func (e *Estimator) estimate(s *Sweep) (*Estimate, error) {
 	}
 	var ests []groupEst
 	var totalWork, aliasWork int64
+	var totalIters int
+	allConverged := true
+	var gapMax, noiseRelMax float64
 	for power, g := range groups {
 		if len(g) < 3 {
 			continue // too few bands to invert meaningfully
@@ -454,16 +566,42 @@ func (e *Estimator) estimate(s *Sweep) (*Estimate, error) {
 			freqs[i] = m.freq
 			h[i] = m.value
 		}
-		prof, work, err := e.invertGroup(freqs, h, power, s)
-		totalWork += work
+		// The per-sweep noise estimate drives both the solver's gap
+		// tolerance and the alias-evidence gates; noiseRel normalizes it
+		// for the gates (residual comparisons scale with ‖h‖).
+		noiseEst := groupNoiseFloor(g)
+		noiseRel := 0.0
+		if hNorm := dsp.Norm2(h); hNorm > 0 {
+			noiseRel = noiseEst / hNorm
+		}
+		if noiseRel > noiseRelMax {
+			noiseRelMax = noiseRel
+		}
+		// Above the gap ceiling the noise-equivalence class of solutions
+		// is too wide to anchor alias decisions (a fade can flip the
+		// folded-mass anchor by a whole period between two equally
+		// certified iterates), so deep-fade sweeps keep the precise
+		// iterate rule and the gap rule engages only where profiles are
+		// noise-determined. Zero disables the gap stop in ndft.
+		gapFloor := noiseEst
+		if noiseRel > gapNoiseCeil {
+			gapFloor = 0
+		}
+		prof, sol, err := e.invertGroup(freqs, h, power, s, gapFloor)
+		totalWork += sol.Work
 		if err != nil {
 			return nil, err
+		}
+		totalIters += sol.Iterations
+		allConverged = allConverged && sol.Converged
+		if sol.GapAtStop > gapMax {
+			gapMax = sol.GapAtStop
 		}
 		var tau float64
 		ok := false
 		if e.cfg.Ranking == RankFamilies && e.cfg.AliasPeriod > 0 {
 			var aw int64
-			tau, ok, aw = e.familyRank(freqs, h, power, prof, s)
+			tau, ok, aw = e.familyRank(freqs, h, power, prof, s, noiseRel)
 			aliasWork += aw
 			totalWork += aw
 		}
@@ -477,14 +615,14 @@ func (e *Estimator) estimate(s *Sweep) (*Estimate, error) {
 			tau, ok = e.firstPeakWindowed(prof)
 			if ok && e.cfg.AliasPeriod > 0 {
 				if e.cfg.Ranking == RankFamilies {
-					if scorer, err := e.newAliasScorer(freqs, h, power, s); err == nil {
+					if scorer, err := e.newAliasScorer(freqs, h, power, s, noiseRel); err == nil {
 						tau = e.placeCandidate(scorer, tau)
 						aliasWork += scorer.work
 						totalWork += scorer.work
 					}
 				} else {
 					var aw int64
-					tau, aw = e.disambiguateAlias(freqs, h, power, tau, s)
+					tau, aw = e.disambiguateAlias(freqs, h, power, tau, s, gapFloor)
 					aliasWork += aw
 					totalWork += aw
 				}
@@ -533,13 +671,17 @@ func (e *Estimator) estimate(s *Sweep) (*Estimate, error) {
 		tau = 0
 	}
 	return &Estimate{
-		ToF:       tau,
-		Distance:  tau * wifi.SpeedOfLight,
-		Profile:   primary.profile,
-		Peaks:     primary.peaks,
-		Fused:     fused,
-		Work:      totalWork,
-		AliasWork: aliasWork,
+		ToF:        tau,
+		Distance:   tau * wifi.SpeedOfLight,
+		Profile:    primary.profile,
+		Peaks:      primary.peaks,
+		Fused:      fused,
+		Work:       totalWork,
+		AliasWork:  aliasWork,
+		Iterations: totalIters,
+		Converged:  allConverged,
+		GapAtStop:  gapMax,
+		NoiseFloor: noiseRelMax,
 	}, nil
 }
 
@@ -563,12 +705,22 @@ func (e *Estimator) firstPeakWindowed(prof *Profile) (float64, bool) {
 	return strongest.X, true
 }
 
+// solveMeta is the per-group solver telemetry estimate aggregates into
+// the Estimate's convergence counters.
+type solveMeta struct {
+	Work       int64
+	Iterations int
+	Converged  bool
+	GapAtStop  float64
+}
+
 // invertGroup runs Algorithm 1 for one power group and rescales the
 // resulting profile from the h̃ᵖ delay domain back to true τ. The plan
 // for the group's geometry comes from the shared registry; the sweep
-// supplies (and retains) the warm-start profile when enabled. The second
-// return is the solver work spent (grid cells processed).
-func (e *Estimator) invertGroup(freqs []float64, h dsp.Vec, power int, s *Sweep) (*Profile, int64, error) {
+// supplies (and retains) the warm-start profile when enabled.
+// noiseFloor is the group's per-sweep ‖w‖₂ estimate, which scales the
+// solver's duality-gap stopping tolerance (0 disables the gap rule).
+func (e *Estimator) invertGroup(freqs []float64, h dsp.Vec, power int, s *Sweep, noiseFloor float64) (*Profile, solveMeta, error) {
 	key := newPlanKey(freqs, power, e.cfg.MaxTau, e.cfg.GridStep)
 	plan, err := e.plans.planFor(key, func() (*ndft.Plan, error) {
 		// The h̃ᵖ profile lives on delays that are sums of p path delays,
@@ -579,7 +731,7 @@ func (e *Estimator) invertGroup(freqs []float64, h dsp.Vec, power int, s *Sweep)
 		return ndft.NewPlan(freqs, taus)
 	})
 	if err != nil {
-		return nil, 0, err
+		return nil, solveMeta{}, err
 	}
 	g := s.warmState(key)
 	var warm dsp.Vec
@@ -590,9 +742,12 @@ func (e *Estimator) invertGroup(freqs []float64, h dsp.Vec, power int, s *Sweep)
 		Alpha:      e.cfg.Alpha,
 		AlphaScale: e.cfg.AlphaFactor,
 		MaxIter:    e.cfg.MaxIter,
+		Stop:       e.cfg.Stop,
+		GapScale:   e.cfg.GapScale,
+		NoiseFloor: noiseFloor,
 	}, warm, nil)
 	if err != nil {
-		return nil, 0, err
+		return nil, solveMeta{}, err
 	}
 	if g != nil {
 		g.observe(warm != nil, res)
@@ -601,7 +756,8 @@ func (e *Estimator) invertGroup(freqs []float64, h dsp.Vec, power int, s *Sweep)
 	for i, t := range res.Taus {
 		taus[i] = t / float64(power)
 	}
-	return &Profile{Taus: taus, Magnitude: res.Magnitude, Power: power}, res.Work, nil
+	meta := solveMeta{Work: res.Work, Iterations: res.Iterations, Converged: res.Converged, GapAtStop: res.GapAtStop}
+	return &Profile{Taus: taus, Magnitude: res.Magnitude, Power: power}, meta, nil
 }
 
 // BandsFor returns the band plan a sweep should cover for the config's

@@ -117,32 +117,31 @@ func BandValue(pairs []csi.Pair, quirked bool, mode InterpMode, fwdOnly bool) (c
 	if len(pairs) == 0 {
 		return 0, 0, errors.New("tof: no CSI pairs for band")
 	}
-	power := 1
+	power, total := bandPowers(quirked, fwdOnly)
+	vals, err := foldValues(nil, pairs, power, mode, fwdOnly)
+	if err != nil {
+		return 0, 0, err
+	}
+	acc, _, _ := pairSpread(vals)
+	return acc, total, nil
+}
+
+// bandPowers is the single home of the channel-power convention: the
+// per-side power applied before folding (4 on quirked 2.4 GHz bands so
+// the π/2 phase folds cancel, 1 otherwise) and the total power label of
+// the folded value (doubled by the forward×reverse CFO product unless
+// fwdOnly). BandValue and Sweep.AddBand both resolve it here so the
+// batch and incremental paths can never diverge.
+func bandPowers(quirked, fwdOnly bool) (power, total int) {
+	power = 1
 	if quirked {
 		power = 4
 	}
-	var acc complex128
-	for _, p := range pairs {
-		fwd, err := ZeroSubcarrier(p.Forward, power, mode)
-		if err != nil {
-			return 0, 0, err
-		}
-		v := fwd
-		if !fwdOnly {
-			rev, err := ZeroSubcarrier(p.Reverse, power, mode)
-			if err != nil {
-				return 0, 0, err
-			}
-			v = fwd * rev
-		}
-		acc += v
-	}
-	acc /= complex(float64(len(pairs)), 0)
-	total := power
+	total = power
 	if !fwdOnly {
 		total = 2 * power
 	}
-	return acc, total, nil
+	return power, total
 }
 
 // IsQuirked reports whether band b needs the 4th-power workaround on a

@@ -83,6 +83,13 @@ type Fix struct {
 	TrueRange float64       // ground-truth anchor–target distance at emission
 	Early     bool
 	Accepted  bool // measurement passed the Kalman gate
+	// Work is the deterministic solver cost of the fix's estimate (grid
+	// cells processed, tof.Estimate.Work); Converged reports whether
+	// every profile inversion behind the fix met its stopping rule —
+	// false marks an iteration-capped fix, which SessionResult counts as
+	// CappedFixes so campaigns can expose cap-rate.
+	Work      int64
+	Converged bool
 }
 
 // SessionResult is one session's streamed output.
@@ -93,7 +100,12 @@ type SessionResult struct {
 	// Kalman-smoothed ranges against ground truth over the final fixes.
 	RawRMSE, SmoothedRMSE float64
 	Rejected              int // fixes discarded by the Kalman gate
-	Duration              time.Duration
+	// CappedFixes counts final fixes whose estimate hit the solver's
+	// iteration cap instead of converging — the convergence-telemetry
+	// roll-up the PerfConverge campaign asserts drops to ~0 under the
+	// noise-adaptive stopping rule.
+	CappedFixes int
+	Duration    time.Duration
 }
 
 // RunSession streams cfg.Sweeps full band sweeps over a moving target in
@@ -204,7 +216,11 @@ func RunSession(rng *rand.Rand, office *sim.Office, est *tof.Estimator, cfg Sess
 			res.Fixes = append(res.Fixes, Fix{
 				At: now, Latency: now - start, Bands: acc.Bands(),
 				Range: raw, Smoothed: smoothed, TrueRange: truth, Accepted: accepted,
+				Work: r.Work, Converged: r.Converged,
 			})
+			if !r.Converged {
+				res.CappedFixes++
+			}
 			rawSq += (raw - truth) * (raw - truth)
 			smoothSq += (smoothed - truth) * (smoothed - truth)
 			if cfg.WarmStart && cfg.VelocityTranslate && havePrevFix {
