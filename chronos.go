@@ -81,6 +81,53 @@ const (
 	StopIterate = ndft.StopIterate
 )
 
+// SolverPlan is a precomputed NDFT solver plan for one band geometry:
+// the planar dictionary, step constants, and pooled scratch behind
+// every profile inversion. Estimators resolve plans from the shared
+// registry automatically; construct one directly only to drive the
+// solver itself (service daemons, benchmarks).
+type SolverPlan = ndft.Plan
+
+// SolveRequest is one inversion request against a SolverPlan: the
+// measurement vector, an optional warm-start profile, an optional
+// recycled result, and the solver options. The same request shape
+// drives SolverPlan.Solve (B=1) and SolverPlan.SolveBatch — batching B
+// requests amortizes the dictionary's memory traffic B ways while each
+// request's result stays byte-identical to its sequential solve.
+type SolveRequest = ndft.SolveRequest
+
+// SolveResult is one inversion's output (profile, residual, telemetry).
+type SolveResult = ndft.Result
+
+// SolveOptions tunes one profile inversion (Algorithm 1 of §6).
+type SolveOptions = ndft.InvertOptions
+
+// NewSolverPlan precomputes a solver plan for the given measurement
+// frequencies and delay grid (see SolverTauGrid).
+func NewSolverPlan(freqs, taus []float64) (*SolverPlan, error) { return ndft.NewPlan(freqs, taus) }
+
+// SolverTauGrid builds the uniform delay grid [0, maxTau] at the given
+// step — the profile domain a plan inverts onto.
+func SolverTauGrid(maxTau, step float64) []float64 { return ndft.TauGrid(maxTau, step) }
+
+// HasVectorKernel reports whether batched solves run the vectorized
+// multi-lane gradient kernel on this machine. Batching is always
+// byte-identical to sequential solving; without the kernel it simply
+// yields a smaller throughput gain.
+func HasVectorKernel() bool { return ndft.HasVectorKernel() }
+
+// SolveCoalescer batches concurrent solve requests that target the same
+// plan into one SolveBatch call (bounded wait, falls through to B=1).
+// Share one instance across the estimators whose sessions should batch
+// together via ToFConfig.Coalescer.
+type SolveCoalescer = tof.Coalescer
+
+// SolveCoalescerConfig tunes a coalescer (batch cap, door-hold wait).
+type SolveCoalescerConfig = tof.CoalescerConfig
+
+// NewSolveCoalescer builds a coalescer with the given config.
+func NewSolveCoalescer(cfg SolveCoalescerConfig) *SolveCoalescer { return tof.NewCoalescer(cfg) }
+
 // PlanRegistryStats is a snapshot of the shared NDFT plan registry's
 // occupancy (resident plans, LRU bound, builds, evictions, bytes).
 type PlanRegistryStats = tof.RegistryStats
@@ -249,6 +296,12 @@ type TrackMultiConfig = track.MultiConfig
 // TrackMultiResult pairs a schedule's capacity metrics with per-device
 // smoothed trajectories.
 type TrackMultiResult = track.MultiResult
+
+// TrackMultiSolver switches RunTrackMulti from the statistical range
+// model to real per-sweep channel inversion on concurrent per-device
+// goroutines — the configuration that exercises a shared SolveCoalescer
+// across sessions (TrackMultiConfig.Solver).
+type TrackMultiSolver = track.MultiSolver
 
 // RunTrackMulti replays an interleaved schedule through per-device walks,
 // the statistical range-error model, and Kalman trackers.

@@ -92,7 +92,7 @@ func PerfSolver(o Options) *Result {
 		for s := 0; s < o.Trials; s++ {
 			h := measure(tauNs)
 			t0 := time.Now()
-			cold, err := plan.Solve(h, opts, nil, coldDst)
+			cold, err := plan.Solve(ndft.SolveRequest{H: h, Dst: coldDst, InvertOptions: opts})
 			if err != nil {
 				continue
 			}
@@ -109,7 +109,7 @@ func PerfSolver(o Options) *Result {
 				warmSeed = append(warmSeed, cold.Profile...)
 			} else {
 				t0 = time.Now()
-				warm, err := plan.Solve(h, opts, warmSeed, warmDst)
+				warm, err := plan.Solve(ndft.SolveRequest{H: h, Warm: warmSeed, Dst: warmDst, InvertOptions: opts})
 				if err != nil {
 					continue
 				}

@@ -69,7 +69,7 @@ func Fig4(o Options) *Result {
 	if err != nil {
 		panic(err)
 	}
-	inv, err := plan.Solve(h, ndft.InvertOptions{MaxIter: 4000}, nil, nil)
+	inv, err := plan.Solve(ndft.SolveRequest{H: h, InvertOptions: ndft.InvertOptions{MaxIter: 4000}})
 	if err != nil {
 		panic(err)
 	}

@@ -83,7 +83,7 @@ func TestWeightedResidualMatchesPlain(t *testing.T) {
 			}
 		}
 	}
-	res, err := plan.Solve(h, InvertOptions{MaxIter: 2000}, nil, nil)
+	res, err := plan.Solve(SolveRequest{H: h, InvertOptions: InvertOptions{MaxIter: 2000}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,7 @@ func FuzzFamilyFold(f *testing.F) {
 			t.Skip()
 		}
 		h := synth(freqs, delays, gains, 0)
-		res, err := plan.Solve(h, InvertOptions{MaxIter: 1500}, nil, nil)
+		res, err := plan.Solve(SolveRequest{H: h, InvertOptions: InvertOptions{MaxIter: 1500}})
 		if err != nil {
 			t.Skip()
 		}
@@ -213,7 +213,7 @@ func FuzzFamilyFold(f *testing.F) {
 			return m
 		}
 		h2 := synth(freqs, delays, gains, period)
-		res2, err := plan.Solve(h2, InvertOptions{MaxIter: 1500}, nil, nil)
+		res2, err := plan.Solve(SolveRequest{H: h2, InvertOptions: InvertOptions{MaxIter: 1500}})
 		if err != nil {
 			t.Skip()
 		}
@@ -234,11 +234,11 @@ func FuzzFamilyFold(f *testing.F) {
 		if delays[0] > 22e-9 {
 			t.Skip() // direct path outside the window
 		}
-		coldRes, err := wplan.Solve(h, InvertOptions{MaxIter: 800}, nil, nil)
+		coldRes, err := wplan.Solve(SolveRequest{H: h, InvertOptions: InvertOptions{MaxIter: 800}})
 		if err != nil {
 			t.Skip()
 		}
-		warmRes, err := wplan.Solve(h, InvertOptions{MaxIter: 800}, coldRes.Profile, nil)
+		warmRes, err := wplan.Solve(SolveRequest{H: h, Warm: coldRes.Profile, InvertOptions: InvertOptions{MaxIter: 800}})
 		if err != nil {
 			t.Fatal(err)
 		}

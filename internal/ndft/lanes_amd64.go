@@ -1,0 +1,72 @@
+package ndft
+
+// laneWidth is the batch-lane width of the vectorized gradient kernel:
+// eight float64 lanes per AVX-512 zmm register, one solver task per
+// lane. Tasks beyond a multiple of eight form a partial (or scalar)
+// group; lane assignment never affects results, only throughput.
+const laneWidth = 8
+
+// dot8avx512 computes, for eight independent lanes b, the planar complex
+// dot product of the shared adjoint row against lane b's transposed
+// residual (resT[i*8+b]), writing gr/gi per lane. Each lane performs the
+// reference scalar chain arithmetic exactly (see lanes_amd64.s), which
+// is what keeps batched solves byte-identical to sequential ones.
+//
+//go:noescape
+func dot8avx512(rowRe, rowIm, resTRe, resTIm *float64, n int, grOut, giOut *float64)
+
+// dotTile is the element-tile width of the cache-blocked gradient walk:
+// 128 elements × 8 lanes × 8 bytes = 8 KiB per planar component, so one
+// tile of the lane-major residual stays L1-resident while every
+// dictionary row streams across it. Must be even to preserve the
+// accumulator-chain parity of the reference scalar dot.
+const dotTile = 128
+
+// dotChunk8avx512 advances one row's eight lane dots across one element
+// tile, carrying the four accumulator chains in state (4×8 doubles per
+// row). mode bit 0 zeroes the chains (first tile), bit 1 folds them and
+// writes out (gr lanes, then gi lanes — 16 doubles). stride is the
+// dictionary row pitch in bytes, used to prefetch the next row's slice.
+// See lanes_amd64.s.
+//
+//go:noescape
+func dotChunk8avx512(rowRe, rowIm, resTRe, resTIm *float64, k int, state, out *float64, mode uint64, stride int)
+
+// axpy8avx512 accumulates, for every lane b whose mask bit is set, the
+// scaled dictionary column coef_b·col_j into lane b of the transposed
+// residual (resT[i*8+b] over i), with merge-masked stores so the other
+// lanes' bits never move. Each active lane performs the scalar
+// forwardResid chain arithmetic exactly (see lanes_amd64.s).
+//
+//go:noescape
+func axpy8avx512(rowRe, rowIm, coefRe, coefIm, resTRe, resTIm *float64, n int, mask uint64)
+
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+// useDotLanes reports whether the vectorized batch kernel may run:
+// AVX-512F present and the OS saves the full zmm + opmask state. When
+// false, batched solves fall back to the scalar kernel — identical
+// results, per-session throughput.
+var useDotLanes = detectAVX512()
+
+func detectAVX512() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuidex(1, 0)
+	const osxsave = 1 << 27
+	if c1&osxsave == 0 {
+		return false
+	}
+	// XCR0: SSE+AVX state (bits 1-2) and opmask/zmm state (bits 5-7)
+	// must all be OS-enabled before zmm registers are usable.
+	lo, _ := xgetbv0()
+	if lo&0xe6 != 0xe6 {
+		return false
+	}
+	_, b7, _, _ := cpuidex(7, 0)
+	const avx512f = 1 << 16
+	return b7&avx512f != 0
+}

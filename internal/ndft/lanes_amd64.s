@@ -1,0 +1,363 @@
+// AVX-512 batch-lane kernel for the gradient pass: eight solver tasks
+// occupy the eight zmm lanes, and every lane executes the EXACT scalar
+// operation sequence of the reference dot in gradPass/cdot's inline body
+// (two-way unroll, four accumulator chains, separate multiply and
+// add/subtract instructions — no FMA, which would change rounding).
+// Lane-wise vector arithmetic is bit-identical to scalar arithmetic, so
+// batched results match sequential solves byte for byte; see batch.go.
+
+#include "textflag.h"
+
+// func dot8avx512(rowRe, rowIm, resTRe, resTIm *float64, n int, grOut, giOut *float64)
+//
+// rowRe/rowIm: one planar adjoint row (n doubles each), shared by lanes.
+// resTRe/resTIm: lane-transposed residuals, resT[i*8+b] = lane b element i.
+// grOut/giOut: 8 doubles each, lane dot products (gr0+gr1, gi0+gi1).
+TEXT ·dot8avx512(SB), NOSPLIT, $0-56
+	MOVQ rowRe+0(FP), SI
+	MOVQ rowIm+8(FP), DI
+	MOVQ resTRe+16(FP), R8
+	MOVQ resTIm+24(FP), R9
+	MOVQ n+32(FP), CX
+
+	// Z0..Z3 = gr0, gi0, gr1, gi1 accumulator chains (per lane).
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z1, Z1, Z1
+	VPXORQ Z2, Z2, Z2
+	VPXORQ Z3, Z3, Z3
+
+	XORQ AX, AX // i
+
+loop2:
+	MOVQ CX, DX
+	SUBQ AX, DX
+	CMPQ DX, $2
+	JLT  tail
+
+	MOVQ AX, BX
+	SHLQ $6, BX // i*8 lanes*8 bytes
+
+	// Element i -> chains 0: gr0 += ar0*br0 - ai0*bi0; gi0 += ar0*bi0 + ai0*br0
+	VBROADCASTSD (SI)(AX*8), Z4  // ar0
+	VBROADCASTSD (DI)(AX*8), Z5  // ai0
+	VMOVUPD      (R8)(BX*1), Z6  // br0 lanes
+	VMOVUPD      (R9)(BX*1), Z7  // bi0 lanes
+	VMULPD       Z6, Z4, Z8      // ar0*br0
+	VMULPD       Z7, Z5, Z9      // ai0*bi0
+	VSUBPD       Z9, Z8, Z8      // ar0*br0 - ai0*bi0
+	VADDPD       Z8, Z0, Z0
+	VMULPD       Z7, Z4, Z8      // ar0*bi0
+	VMULPD       Z6, Z5, Z9      // ai0*br0
+	VADDPD       Z9, Z8, Z8      // ar0*bi0 + ai0*br0
+	VADDPD       Z8, Z1, Z1
+
+	// Element i+1 -> chains 1.
+	VBROADCASTSD 8(SI)(AX*8), Z4
+	VBROADCASTSD 8(DI)(AX*8), Z5
+	VMOVUPD      64(R8)(BX*1), Z6
+	VMOVUPD      64(R9)(BX*1), Z7
+	VMULPD       Z6, Z4, Z8
+	VMULPD       Z7, Z5, Z9
+	VSUBPD       Z9, Z8, Z8
+	VADDPD       Z8, Z2, Z2
+	VMULPD       Z7, Z4, Z8
+	VMULPD       Z6, Z5, Z9
+	VADDPD       Z9, Z8, Z8
+	VADDPD       Z8, Z3, Z3
+
+	ADDQ $2, AX
+	JMP  loop2
+
+tail:
+	CMPQ AX, CX
+	JGE  done
+
+	MOVQ AX, BX
+	SHLQ $6, BX
+	VBROADCASTSD (SI)(AX*8), Z4
+	VBROADCASTSD (DI)(AX*8), Z5
+	VMOVUPD      (R8)(BX*1), Z6
+	VMOVUPD      (R9)(BX*1), Z7
+	VMULPD       Z6, Z4, Z8
+	VMULPD       Z7, Z5, Z9
+	VSUBPD       Z9, Z8, Z8
+	VADDPD       Z8, Z0, Z0
+	VMULPD       Z7, Z4, Z8
+	VMULPD       Z6, Z5, Z9
+	VADDPD       Z9, Z8, Z8
+	VADDPD       Z8, Z1, Z1
+
+done:
+	// gr = gr0 + gr1, gi = gi0 + gi1 (addition is commutative in IEEE
+	// 754, so lane order matches the scalar gr0+gr1 exactly).
+	VADDPD Z2, Z0, Z0
+	VADDPD Z3, Z1, Z1
+	MOVQ   grOut+40(FP), R10
+	MOVQ   giOut+48(FP), R11
+	VMOVUPD Z0, (R10)
+	VMOVUPD Z1, (R11)
+	VZEROUPPER
+	RET
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func axpy8avx512(rowRe, rowIm, coefRe, coefIm, resTRe, resTIm *float64, n int, mask uint64)
+//
+// Lane-masked forward-residual accumulation: for each lane b with mask
+// bit b set, resT[i*8+b] += coef_b · column_j[i] elementwise over i,
+// exactly as the scalar forwardResid body — per element the chain is
+// dstRe += ar*cr − ai*ci, dstIm += ar*ci + ai*cr with ai = −rowIm[i],
+// which folds sign-exactly to dstRe += ar*cr + rowIm*ci and
+// dstIm += ar*ci − rowIm*cr (IEEE negation is exact and x−(−y) ≡ x+y).
+// Merge-masked stores leave unmasked lanes' memory untouched, so lanes
+// whose task does not carry row j keep their residual bits exactly.
+TEXT ·axpy8avx512(SB), NOSPLIT, $0-64
+	MOVQ  rowRe+0(FP), SI
+	MOVQ  rowIm+8(FP), DI
+	MOVQ  coefRe+16(FP), AX
+	MOVQ  coefIm+24(FP), BX
+	MOVQ  resTRe+32(FP), R8
+	MOVQ  resTIm+40(FP), R9
+	MOVQ  n+48(FP), CX
+	MOVQ  mask+56(FP), DX
+	KMOVW DX, K1
+
+	VMOVUPD (AX), Z2 // cr lanes
+	VMOVUPD (BX), Z3 // ci lanes
+
+	XORQ AX, AX // i
+	XORQ BX, BX // i*64 byte offset
+
+axloop:
+	CMPQ AX, CX
+	JGE  axdone
+
+	VBROADCASTSD (SI)(AX*8), Z4 // ar
+	VBROADCASTSD (DI)(AX*8), Z5 // rowIm[i]
+
+	// dstRe += ar*cr + rowIm*ci
+	VMULPD  Z2, Z4, Z6
+	VMULPD  Z3, Z5, Z7
+	VADDPD  Z7, Z6, Z6
+	VMOVUPD (R8)(BX*1), Z8
+	VADDPD  Z6, Z8, Z8
+	VMOVUPD Z8, K1, (R8)(BX*1)
+
+	// dstIm += ar*ci − rowIm*cr
+	VMULPD  Z3, Z4, Z6
+	VMULPD  Z2, Z5, Z7
+	VSUBPD  Z7, Z6, Z6
+	VMOVUPD (R9)(BX*1), Z8
+	VADDPD  Z6, Z8, Z8
+	VMOVUPD Z8, K1, (R9)(BX*1)
+
+	INCQ AX
+	ADDQ $64, BX
+	JMP  axloop
+
+axdone:
+	VZEROUPPER
+	RET
+
+// func dotChunk8avx512(rowRe, rowIm, resTRe, resTIm *float64, k int, state, out *float64, mode uint64, stride int)
+//
+// One (row, element-tile) chunk of the cache-blocked batch gradient: the
+// same four accumulator chains as dot8avx512, but carried across tiles
+// in a 32-double per-row state so the lane-major residual can be walked
+// one L1-resident tile at a time for all rows. mode bit 0 starts the
+// row (zero chains), bit 1 ends it (fold chains and write the 16-double
+// gr|gi lane outputs). Chain parity is preserved because tiles start at
+// even element offsets, so the accumulation order is exactly the scalar
+// reference's. stride is the dictionary row pitch in bytes; the loop
+// prefetches the NEXT row's slice while streaming this one, since
+// consecutive rows sit a full row apart and the hardware stride
+// prefetcher loses them across page boundaries. The main loop retires
+// four elements (two chain pairs) per iteration.
+TEXT ·dotChunk8avx512(SB), NOSPLIT, $0-72
+	MOVQ rowRe+0(FP), SI
+	MOVQ rowIm+8(FP), DI
+	MOVQ resTRe+16(FP), R8
+	MOVQ resTIm+24(FP), R9
+	MOVQ k+32(FP), CX
+	MOVQ state+40(FP), R10
+	MOVQ mode+56(FP), DX
+	MOVQ stride+64(FP), R12
+	LEAQ (SI)(R12*1), R13 // next row re (prefetch target)
+	LEAQ (DI)(R12*1), R14 // next row im
+
+	TESTQ $1, DX
+	JZ    ckload
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z1, Z1, Z1
+	VPXORQ Z2, Z2, Z2
+	VPXORQ Z3, Z3, Z3
+	JMP    ckbody
+
+ckload:
+	VMOVUPD (R10), Z0
+	VMOVUPD 64(R10), Z1
+	VMOVUPD 128(R10), Z2
+	VMOVUPD 192(R10), Z3
+
+ckbody:
+	XORQ AX, AX
+
+ckloop4:
+	MOVQ CX, BX
+	SUBQ AX, BX
+	CMPQ BX, $4
+	JLT  ckloop2
+
+	PREFETCHT0 (R13)(AX*8)
+	PREFETCHT0 (R14)(AX*8)
+
+	MOVQ AX, BX
+	SHLQ $6, BX
+
+	VBROADCASTSD (SI)(AX*8), Z4
+	VBROADCASTSD (DI)(AX*8), Z5
+	VMOVUPD      (R8)(BX*1), Z6
+	VMOVUPD      (R9)(BX*1), Z7
+	VMULPD       Z6, Z4, Z8
+	VMULPD       Z7, Z5, Z9
+	VSUBPD       Z9, Z8, Z8
+	VADDPD       Z8, Z0, Z0
+	VMULPD       Z7, Z4, Z8
+	VMULPD       Z6, Z5, Z9
+	VADDPD       Z9, Z8, Z8
+	VADDPD       Z8, Z1, Z1
+
+	VBROADCASTSD 8(SI)(AX*8), Z4
+	VBROADCASTSD 8(DI)(AX*8), Z5
+	VMOVUPD      64(R8)(BX*1), Z6
+	VMOVUPD      64(R9)(BX*1), Z7
+	VMULPD       Z6, Z4, Z8
+	VMULPD       Z7, Z5, Z9
+	VSUBPD       Z9, Z8, Z8
+	VADDPD       Z8, Z2, Z2
+	VMULPD       Z7, Z4, Z8
+	VMULPD       Z6, Z5, Z9
+	VADDPD       Z9, Z8, Z8
+	VADDPD       Z8, Z3, Z3
+
+	VBROADCASTSD 16(SI)(AX*8), Z4
+	VBROADCASTSD 16(DI)(AX*8), Z5
+	VMOVUPD      128(R8)(BX*1), Z6
+	VMOVUPD      128(R9)(BX*1), Z7
+	VMULPD       Z6, Z4, Z8
+	VMULPD       Z7, Z5, Z9
+	VSUBPD       Z9, Z8, Z8
+	VADDPD       Z8, Z0, Z0
+	VMULPD       Z7, Z4, Z8
+	VMULPD       Z6, Z5, Z9
+	VADDPD       Z9, Z8, Z8
+	VADDPD       Z8, Z1, Z1
+
+	VBROADCASTSD 24(SI)(AX*8), Z4
+	VBROADCASTSD 24(DI)(AX*8), Z5
+	VMOVUPD      192(R8)(BX*1), Z6
+	VMOVUPD      192(R9)(BX*1), Z7
+	VMULPD       Z6, Z4, Z8
+	VMULPD       Z7, Z5, Z9
+	VSUBPD       Z9, Z8, Z8
+	VADDPD       Z8, Z2, Z2
+	VMULPD       Z7, Z4, Z8
+	VMULPD       Z6, Z5, Z9
+	VADDPD       Z9, Z8, Z8
+	VADDPD       Z8, Z3, Z3
+
+	ADDQ $4, AX
+	JMP  ckloop4
+
+ckloop2:
+	MOVQ CX, BX
+	SUBQ AX, BX
+	CMPQ BX, $2
+	JLT  cktail
+
+	MOVQ AX, BX
+	SHLQ $6, BX
+
+	VBROADCASTSD (SI)(AX*8), Z4
+	VBROADCASTSD (DI)(AX*8), Z5
+	VMOVUPD      (R8)(BX*1), Z6
+	VMOVUPD      (R9)(BX*1), Z7
+	VMULPD       Z6, Z4, Z8
+	VMULPD       Z7, Z5, Z9
+	VSUBPD       Z9, Z8, Z8
+	VADDPD       Z8, Z0, Z0
+	VMULPD       Z7, Z4, Z8
+	VMULPD       Z6, Z5, Z9
+	VADDPD       Z9, Z8, Z8
+	VADDPD       Z8, Z1, Z1
+
+	VBROADCASTSD 8(SI)(AX*8), Z4
+	VBROADCASTSD 8(DI)(AX*8), Z5
+	VMOVUPD      64(R8)(BX*1), Z6
+	VMOVUPD      64(R9)(BX*1), Z7
+	VMULPD       Z6, Z4, Z8
+	VMULPD       Z7, Z5, Z9
+	VSUBPD       Z9, Z8, Z8
+	VADDPD       Z8, Z2, Z2
+	VMULPD       Z7, Z4, Z8
+	VMULPD       Z6, Z5, Z9
+	VADDPD       Z9, Z8, Z8
+	VADDPD       Z8, Z3, Z3
+
+	ADDQ $2, AX
+	JMP  ckloop2
+
+cktail:
+	CMPQ AX, CX
+	JGE  ckdone
+
+	MOVQ AX, BX
+	SHLQ $6, BX
+	VBROADCASTSD (SI)(AX*8), Z4
+	VBROADCASTSD (DI)(AX*8), Z5
+	VMOVUPD      (R8)(BX*1), Z6
+	VMOVUPD      (R9)(BX*1), Z7
+	VMULPD       Z6, Z4, Z8
+	VMULPD       Z7, Z5, Z9
+	VSUBPD       Z9, Z8, Z8
+	VADDPD       Z8, Z0, Z0
+	VMULPD       Z7, Z4, Z8
+	VMULPD       Z6, Z5, Z9
+	VADDPD       Z9, Z8, Z8
+	VADDPD       Z8, Z1, Z1
+
+ckdone:
+	TESTQ $2, DX
+	JNZ   ckreduce
+	VMOVUPD Z0, (R10)
+	VMOVUPD Z1, 64(R10)
+	VMOVUPD Z2, 128(R10)
+	VMOVUPD Z3, 192(R10)
+	VZEROUPPER
+	RET
+
+ckreduce:
+	VADDPD Z2, Z0, Z0
+	VADDPD Z3, Z1, Z1
+	MOVQ   out+48(FP), R11
+	VMOVUPD Z0, (R11)
+	VMOVUPD Z1, 64(R11)
+	VZEROUPPER
+	RET

@@ -1,0 +1,27 @@
+//go:build !amd64
+
+package ndft
+
+// laneWidth mirrors the amd64 batch-lane width so group partitioning is
+// architecture-independent; without the vector kernel groups simply run
+// the scalar path.
+const laneWidth = 8
+
+// useDotLanes is false off amd64: batched solves share the scalar
+// kernel with sequential ones (identical results, per-session
+// throughput).
+const useDotLanes = false
+
+func dot8avx512(rowRe, rowIm, resTRe, resTIm *float64, n int, grOut, giOut *float64) {
+	panic("ndft: vector kernel called without AVX-512 support")
+}
+
+func axpy8avx512(rowRe, rowIm, coefRe, coefIm, resTRe, resTIm *float64, n int, mask uint64) {
+	panic("ndft: vector kernel called without AVX-512 support")
+}
+
+const dotTile = 128
+
+func dotChunk8avx512(rowRe, rowIm, resTRe, resTIm *float64, k int, state, out *float64, mode uint64, stride int) {
+	panic("ndft: vector kernel called without AVX-512 support")
+}

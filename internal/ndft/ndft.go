@@ -188,7 +188,7 @@ type Result struct {
 // direct path. It is a cold-start, freshly-allocated convenience over
 // Plan.Solve.
 func (m *Matrix) Invert(h dsp.Vec, opts InvertOptions) (*Result, error) {
-	return m.plan.Solve(h, opts, nil, nil)
+	return m.plan.Solve(SolveRequest{H: h, InvertOptions: opts})
 }
 
 // FirstPeakDelay extracts the direct-path delay from an inversion result:

@@ -1,7 +1,6 @@
 package ndft
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 	"sync"
@@ -43,6 +42,7 @@ type Plan struct {
 	allIdx []int
 
 	ws sync.Pool // *workspace
+	bs sync.Pool // *batchState
 }
 
 // interleaved rebuilds the complex form of F from the stored adjoint
@@ -71,7 +71,8 @@ type workspace struct {
 	yRe, yIm       []float64 // FISTA extrapolation point (m)
 	active         []int     // support of the extrapolation point (≤ m)
 	idx            []int     // restricted working set for warm solves (≤ m)
-	supp           []int     // support of the iterate at a gap check (≤ m)
+	supp           []int     // polish working set (≤ m)
+	gsupp          []int     // support of the iterate at a gap check (≤ m)
 	corr           []float64 // correlation magnitudes for the noise MAD (≤ m)
 }
 
@@ -123,9 +124,11 @@ func NewPlan(freqs, taus []float64) (*Plan, error) {
 			prevRe: make([]float64, m), prevIm: make([]float64, m),
 			yRe: make([]float64, m), yIm: make([]float64, m),
 			active: make([]int, 0, m), idx: make([]int, 0, m),
-			supp: make([]int, 0, m), corr: make([]float64, 0, m),
+			supp: make([]int, 0, m), gsupp: make([]int, 0, m),
+			corr: make([]float64, 0, m),
 		}
 	}
+	pl.bs.New = func() any { return &batchState{} }
 	return pl, nil
 }
 
@@ -194,461 +197,6 @@ const (
 	polishDilate = 3
 	polishBudget = 600
 )
-
-// Solve runs Algorithm 1 on measurement h. warm, when non-nil, is an
-// initial iterate on the plan's delay grid — typically the previous
-// sweep's converged profile. A warm solve restricts the iteration to a
-// working set (the warm support dilated by warmDilate cells), making
-// each iteration proportional to the support size rather than the grid
-// size; a final full-grid KKT audit proves the excluded atoms inactive,
-// and on violation (the target moved too far) the solver transparently
-// falls back to a cold full-grid solve, so warm and cold starts converge
-// to the same fixed points. dst, when non-nil, is reused for the result
-// (its Profile and Magnitude backing arrays are recycled), making
-// steady-state solves allocation-free; pass nil to allocate a fresh
-// Result. Solve may be called concurrently on one shared Plan.
-func (pl *Plan) Solve(h dsp.Vec, opts InvertOptions, warm dsp.Vec, dst *Result) (*Result, error) {
-	n, m := pl.n, pl.m
-	if len(h) != n {
-		return nil, fmt.Errorf("ndft: measurement length %d != %d frequencies", len(h), n)
-	}
-	if warm != nil && len(warm) != m {
-		return nil, fmt.Errorf("ndft: warm start length %d != %d grid points", len(warm), m)
-	}
-	opts = opts.withDefaults(h)
-
-	w := pl.getWorkspace()
-	defer pl.ws.Put(w)
-	split(w.hRe, w.hIm, h)
-
-	// Fᴴh̃ is needed for the default α scaling and (cold starts) for the
-	// continuation ramp's initial threshold; one pass covers both.
-	var corrInf float64
-	if opts.Alpha == 0 || !opts.PlainISTA {
-		var maxSq float64
-		for j := 0; j < m; j++ {
-			cr, ci := cdot(pl.fhRe[j*n:(j+1)*n], pl.fhIm[j*n:(j+1)*n], w.hRe, w.hIm)
-			if sq := cr*cr + ci*ci; sq > maxSq {
-				maxSq = sq
-			}
-		}
-		corrInf = math.Sqrt(maxSq)
-	}
-	alpha := opts.Alpha
-	if alpha == 0 {
-		scale := opts.AlphaScale
-		if scale == 0 {
-			scale = 1
-		}
-		// Default α: a fraction of the largest correlation between the
-		// measurement and any single atom, the standard LASSO scaling
-		// (α_max = ‖Fᴴh‖∞ zeroes the whole profile; we default to 10%).
-		alpha = 0.1 * scale * corrInf
-	}
-
-	// Initialize the iterate and, for warm starts with a usable support,
-	// the restricted working set.
-	w.active = w.active[:0]
-	idx := pl.allIdx
-	restricted := false
-	if warm != nil {
-		split(w.pRe, w.pIm, warm)
-		for j := 0; j < m; j++ {
-			if w.pRe[j] != 0 || w.pIm[j] != 0 {
-				w.active = append(w.active, j)
-			}
-		}
-		if len(w.active) == 0 {
-			warm = nil // empty seed: run the ordinary cold start
-		} else {
-			w.idx = w.idx[:0]
-			last := -1
-			for _, j := range w.active {
-				lo, hi := j-warmDilate, j+warmDilate
-				if lo <= last {
-					lo = last + 1
-				}
-				if lo < 0 {
-					lo = 0
-				}
-				if hi > m-1 {
-					hi = m - 1
-				}
-				for k := lo; k <= hi; k++ {
-					w.idx = append(w.idx, k)
-				}
-				last = hi
-			}
-			if len(w.idx) < m {
-				idx = w.idx
-				restricted = true
-			}
-		}
-	}
-	if warm == nil {
-		if opts.Seed != 0 {
-			rng := rand.New(rand.NewSource(opts.Seed))
-			s := dsp.Norm2(h) / float64(m)
-			for i := 0; i < m; i++ {
-				w.pRe[i], w.pIm[i] = rng.NormFloat64()*s, rng.NormFloat64()*s
-				w.active = append(w.active, i)
-			}
-		} else {
-			zero(w.pRe)
-			zero(w.pIm)
-		}
-	}
-	copy(w.yRe, w.pRe)
-	copy(w.yIm, w.pIm)
-
-	gamma := pl.gamma
-	if dst == nil {
-		dst = &Result{}
-	}
-	res := dst
-	res.Taus = pl.Taus
-	res.Iterations, res.Converged, res.Work = 0, false, 0
-	res.GapAtStop, res.NoiseFloor = 0, opts.NoiseFloor
-	// The gap rule needs a tolerance to stop against: the caller's
-	// per-sweep noise estimate or an absolute GapTol. Without either the
-	// checks could never pass, so they are skipped entirely and the
-	// iterate rule decides alone.
-	useGap := opts.Stop == StopGap && !opts.PlainISTA &&
-		(opts.GapTol > 0 || opts.NoiseFloor > 0)
-	gapStopped := false
-
-	// gapCheck measures the LASSO duality gap of the current iterate over
-	// the grid cells in set and reports whether the solve may stop: the
-	// scaled residual θ = min(1, α/‖Fᴴr‖∞)·r is dual feasible (on the
-	// restricted set; the excluded cells are audited by the KKT pass), so
-	//
-	//	gap = ½‖r‖² + α‖p‖₁ + ½‖θ‖² + Re⟨θ, h̃⟩
-	//
-	// bounds the objective suboptimality. The tolerance is the noise
-	// energy ½‖w‖² (scaled by GapScale) from the caller's per-sweep
-	// estimate: once the objective is certified within the energy the
-	// noise contributes, the remaining iterations fit noise, not paths.
-	// A check costs about one iteration over the same set, paid once per
-	// gapEvery. GapAtStop refreshes on every check, so even
-	// iteration-capped solves report their last certified gap.
-	gapCheck := func(set []int) (bool, float64) {
-		// Residual at the iterate p: the iteration loop's residual is
-		// taken at the extrapolation point y, which is not the point the
-		// gap certifies. Both scratch residuals are recomputed next
-		// iteration, so reusing them here is safe.
-		w.supp = w.supp[:0]
-		var l1 float64
-		for _, j := range set {
-			if w.pRe[j] != 0 || w.pIm[j] != 0 {
-				w.supp = append(w.supp, j)
-				l1 += math.Hypot(w.pRe[j], w.pIm[j])
-			}
-		}
-		pl.forwardResid(w, w.pRe, w.pIm, w.supp)
-		var resSq, rh float64
-		for i := 0; i < n; i++ {
-			resSq += w.residRe[i]*w.residRe[i] + w.resIm[i]*w.resIm[i]
-			rh += w.residRe[i]*w.hRe[i] + w.resIm[i]*w.hIm[i]
-		}
-		var maxSq float64
-		for _, j := range set {
-			gr, gi := cdot(pl.fhRe[j*n:(j+1)*n], pl.fhIm[j*n:(j+1)*n], w.residRe, w.resIm)
-			if sq := gr*gr + gi*gi; sq > maxSq {
-				maxSq = sq
-			}
-		}
-		res.Work += int64(len(set) + len(w.supp))
-		gInf := math.Sqrt(maxSq)
-		s := 1.0
-		if gInf > alpha && alpha > 0 {
-			s = alpha / gInf
-		}
-		gap := 0.5*resSq + alpha*l1 + 0.5*s*s*resSq + s*rh
-		if gap < 0 {
-			gap = 0 // rounding on an essentially optimal iterate
-		}
-		res.GapAtStop = gap
-		tol := opts.GapTol
-		if tol == 0 {
-			tol = 0.5 * opts.GapScale * opts.NoiseFloor * opts.NoiseFloor
-		}
-		return s >= gapDualGate && gap <= tol, s
-	}
-
-	// iterate runs Algorithm 1 over the grid cells in set (the iterate
-	// must be zero outside it), starting the continuation threshold at
-	// a0; it reports the iterations spent and sets res.Converged.
-	// allowRestart enables the adaptive momentum restart — used only for
-	// restricted working-set solves (see below).
-	iterate := func(set []int, a0 float64, budget int, allowRestart bool) int {
-		curAlpha := a0
-		// The continuation schedule must hand the target α a usable slice
-		// of the budget: with a forced tiny α (the sparsity ablation) the
-		// default decay could still be ramping when the budget expires,
-		// and the Epsilon exit — gated on curAlpha == alpha — could then
-		// never fire. Steepen the decay so the ramp spends at most half
-		// the budget.
-		decay := contDecay
-		if a0 > alpha && alpha > 0 && budget > 0 {
-			if need := math.Log(alpha/a0) / math.Log(decay); need > float64(budget)/2 {
-				decay = math.Exp(2 * math.Log(alpha/a0) / float64(budget))
-			}
-		}
-		tMom := 1.0
-		checkAt := gapEvery
-		res.Converged = false
-		for iter := 1; iter <= budget; iter++ {
-			copy(w.prevRe, w.pRe)
-			copy(w.prevIm, w.pIm)
-			srcRe, srcIm := w.pRe, w.pIm
-			if !opts.PlainISTA {
-				srcRe, srcIm = w.yRe, w.yIm
-			}
-			// resid = F·src − h̃, accumulated over src's support only: the
-			// soft-thresholded iterate is sparse, so the forward product
-			// touches a few dozen dictionary columns, not the whole grid.
-			// The adjoint rows ARE those columns (conjugated), so the
-			// column walk streams through memory.
-			pl.forwardResid(w, srcRe, srcIm, w.active)
-			// p ← SPARSIFY(src − γ·(Fᴴ·resid), γα), fused per grid cell.
-			// The shrinkage test compares squared magnitudes so the
-			// (dominant) zeroed taps never pay for a square root. The
-			// adjoint dot product is a deliberate manual inline of cdot:
-			// the gradient pass makes m short (length-n) dots per
-			// iteration, and the per-call overhead of the out-of-line
-			// kernel is measurable there (Go does not inline cdot); keep
-			// the two bodies in sync if the kernel changes.
-			thr := gamma * curAlpha
-			thrSq := thr * thr
-			rRe, rIm := w.residRe[:n], w.resIm[:n]
-			for _, j := range set {
-				aRe, aIm := pl.fhRe[j*n:(j+1)*n], pl.fhIm[j*n:(j+1)*n]
-				var gr0, gi0, gr1, gi1 float64
-				i := 0
-				for ; i+2 <= n; i += 2 {
-					ar0, ai0, br0, bi0 := aRe[i], aIm[i], rRe[i], rIm[i]
-					gr0 += ar0*br0 - ai0*bi0
-					gi0 += ar0*bi0 + ai0*br0
-					ar1, ai1, br1, bi1 := aRe[i+1], aIm[i+1], rRe[i+1], rIm[i+1]
-					gr1 += ar1*br1 - ai1*bi1
-					gi1 += ar1*bi1 + ai1*br1
-				}
-				if i < n {
-					gr0 += aRe[i]*rRe[i] - aIm[i]*rIm[i]
-					gi0 += aRe[i]*rIm[i] + aIm[i]*rRe[i]
-				}
-				gr, gi := gr0+gr1, gi0+gi1
-				pr := srcRe[j] - gamma*gr
-				pi := srcIm[j] - gamma*gi
-				if sq := pr*pr + pi*pi; sq <= thrSq { // "<=" also zeroes sq==thrSq==0, avoiding 0/0 below
-					w.pRe[j], w.pIm[j] = 0, 0
-				} else {
-					a := math.Sqrt(sq)
-					sc := (a - thr) / a
-					w.pRe[j], w.pIm[j] = pr*sc, pi*sc
-				}
-			}
-
-			var diffSq float64
-			w.active = w.active[:0]
-			if opts.PlainISTA {
-				for _, j := range set {
-					dr, di := w.pRe[j]-w.prevRe[j], w.pIm[j]-w.prevIm[j]
-					diffSq += dr*dr + di*di
-					if w.pRe[j] != 0 || w.pIm[j] != 0 {
-						w.active = append(w.active, j)
-					}
-				}
-			} else {
-				// Adaptive (gradient) restart, O'Donoghue & Candès: when
-				// the extrapolated step opposes the direction of progress
-				// the momentum has overshot — reset it, turning FISTA's
-				// oscillatory tail into near-linear convergence. Restarts
-				// run only on restricted working-set solves: the grating
-				// lobes of the coherent band lattice make the full-grid
-				// LASSO optimum a degenerate face (mass can sit on an
-				// alias ghost with the same objective), and on the full
-				// grid a restarted trajectory may settle on a ghost vertex
-				// that the sustained-momentum trajectory avoids. A working
-				// set inherited from the previous fix excludes the ghost
-				// family entirely, so restarting there is safe — and it is
-				// what lets warm solves converge in tens of iterations
-				// instead of ringing for hundreds.
-				var gdot float64
-				for _, j := range set {
-					dr, di := w.pRe[j]-w.prevRe[j], w.pIm[j]-w.prevIm[j]
-					diffSq += dr*dr + di*di
-					gdot += (w.yRe[j]-w.pRe[j])*dr + (w.yIm[j]-w.pIm[j])*di
-				}
-				if allowRestart && gdot > 0 && curAlpha == alpha {
-					tMom = 1
-				}
-				tNext := (1 + math.Sqrt(1+4*tMom*tMom)) / 2
-				beta := (tMom - 1) / tNext
-				for _, j := range set {
-					dr, di := w.pRe[j]-w.prevRe[j], w.pIm[j]-w.prevIm[j]
-					w.yRe[j] = w.pRe[j] + beta*dr
-					w.yIm[j] = w.pIm[j] + beta*di
-					if w.yRe[j] != 0 || w.yIm[j] != 0 {
-						w.active = append(w.active, j)
-					}
-				}
-				tMom = tNext
-				// Decay the continuation threshold toward the target α,
-				// jumping ahead when the iterate has already stalled at
-				// the current threshold (further same-α iterations are
-				// no-ops the Epsilon exit cannot act on yet).
-				if curAlpha > alpha {
-					d := decay
-					if math.Sqrt(diffSq) < opts.Epsilon {
-						d = contStallDecay
-					}
-					curAlpha *= d
-					if curAlpha < alpha {
-						curAlpha = alpha
-					}
-				}
-			}
-
-			res.Work += int64(len(set))
-			if math.Sqrt(diffSq) < opts.Epsilon && curAlpha == alpha {
-				res.Converged = true
-				return iter
-			}
-			if useGap && iter >= checkAt {
-				stop, s := gapCheck(set)
-				if stop {
-					res.Converged = true
-					gapStopped = true
-					return iter
-				}
-				if s >= gapDualGate {
-					checkAt = iter + gapFine
-				} else {
-					checkAt = iter + gapEvery
-				}
-			}
-		}
-		return budget
-	}
-
-	// finishResid recomputes resid = F·p − h̃ at the current iterate.
-	finishResid := func() {
-		w.active = w.active[:0]
-		for j := 0; j < m; j++ {
-			if w.pRe[j] != 0 || w.pIm[j] != 0 {
-				w.active = append(w.active, j)
-			}
-		}
-		pl.forwardResid(w, w.pRe, w.pIm, w.active)
-	}
-
-	// polish canonicalizes a gap-stopped iterate: a restricted solve at
-	// the tight iterate tolerance over the stopped support (dilated by
-	// polishDilate cells), costing O(support) per iteration. The gap stop
-	// decides *when* the dense work may end; the polish pins *where* the
-	// iterate lands — any two trajectories that stop with the same
-	// support converge to the same restricted optimum, which is what
-	// keeps warm-started and cold fixes in agreement under early
-	// stopping, and sharpens the support amplitudes the downstream
-	// dominance tests read.
-	polish := func() {
-		if !gapStopped {
-			return
-		}
-		gapStopped = false
-		w.supp = w.supp[:0]
-		last := -1
-		for j := 0; j < m; j++ {
-			if w.pRe[j] == 0 && w.pIm[j] == 0 {
-				continue
-			}
-			lo, hi := j-polishDilate, j+polishDilate
-			if lo <= last {
-				lo = last + 1
-			}
-			if lo < 0 {
-				lo = 0
-			}
-			if hi > m-1 {
-				hi = m - 1
-			}
-			for k := lo; k <= hi; k++ {
-				w.supp = append(w.supp, k)
-			}
-			last = hi
-		}
-		if len(w.supp) == 0 || len(w.supp) >= m {
-			return
-		}
-		// Fresh momentum sequence seeded at p (y ≡ p is zero outside the
-		// polish set, since the set contains the whole support).
-		copy(w.yRe, w.pRe)
-		copy(w.yIm, w.pIm)
-		w.active = w.active[:0]
-		for _, j := range w.supp {
-			if w.pRe[j] != 0 || w.pIm[j] != 0 {
-				w.active = append(w.active, j)
-			}
-		}
-		useGap = false // the polish runs pure iterate-rule
-		res.Iterations += iterate(w.supp, alpha, polishBudget, true)
-		useGap = true
-		// The solve converged by its gap certificate whether or not the
-		// polish met the tight tolerance inside its budget.
-		res.Converged = true
-	}
-
-	// α-continuation: start with a large threshold that admits only the
-	// strongest atoms and decay toward the target α, steering the iterate
-	// into the basin of the sparse global optimum before fine fitting
-	// begins — important because the non-uniform band lattice makes the
-	// dictionary highly coherent (strong grating lobes). A warm start is
-	// already in that basin and begins at the target α directly.
-	a0 := alpha
-	if !opts.PlainISTA && warm == nil && corrInf > alpha {
-		a0 = corrInf * 0.5
-	}
-	res.Iterations = iterate(idx, a0, opts.MaxIter, restricted)
-	polish()
-	finishResid()
-
-	if restricted {
-		res.Work += int64(m) // the KKT audit is one dense adjoint pass
-	}
-	if restricted && pl.kktViolated(w, alpha) {
-		// The optimum left the working set (the target moved farther than
-		// warmDilate cells between solves): discard the restricted answer
-		// and run the cold full-grid solve, so warm starting can trade
-		// iterations but never the answer.
-		zero(w.pRe)
-		zero(w.pIm)
-		copy(w.yRe, w.pRe)
-		copy(w.yIm, w.pIm)
-		w.active = w.active[:0]
-		a0 = alpha
-		if !opts.PlainISTA && corrInf > alpha {
-			a0 = corrInf * 0.5
-		}
-		res.Iterations += iterate(pl.allIdx, a0, opts.MaxIter, false)
-		polish()
-		finishResid()
-	}
-
-	var resSq float64
-	for i := 0; i < n; i++ {
-		resSq += w.residRe[i]*w.residRe[i] + w.resIm[i]*w.resIm[i]
-	}
-	res.Residual = math.Sqrt(resSq)
-
-	res.Profile = growVec(res.Profile, m)
-	res.Magnitude = growFloats(res.Magnitude, m)
-	for j := 0; j < m; j++ {
-		res.Profile[j] = complex(w.pRe[j], w.pIm[j])
-		res.Magnitude[j] = math.Sqrt(w.pRe[j]*w.pRe[j] + w.pIm[j]*w.pIm[j])
-	}
-	return res, nil
-}
 
 // kktViolated audits the LASSO optimality conditions of a restricted
 // solution over the full grid: every zero coefficient must satisfy

@@ -38,7 +38,7 @@ func TestPlanSolveMatchesInvert(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := m.Plan().Solve(h, opts, nil, nil)
+	b, err := m.Plan().Solve(SolveRequest{H: h, InvertOptions: opts})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,17 +71,17 @@ func TestPlanWarmStartEquivalence(t *testing.T) {
 		return h
 	}
 
-	cold0, err := pl.Solve(noisy(5.2, 10, 16), opts, nil, nil)
+	cold0, err := pl.Solve(SolveRequest{H: noisy(5.2, 10, 16), InvertOptions: opts})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The static steady state: same geometry, new measurement noise.
 	h := noisy(5.2, 10, 16)
-	cold, err := pl.Solve(h, opts, nil, nil)
+	cold, err := pl.Solve(SolveRequest{H: h, InvertOptions: opts})
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm, err := pl.Solve(h, opts, cold0.Profile, nil)
+	warm, err := pl.Solve(SolveRequest{H: h, Warm: cold0.Profile, InvertOptions: opts})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,11 +104,11 @@ func TestPlanWarmStartEquivalence(t *testing.T) {
 	// A drifted target (~0.2 ns): the warm fix must still agree with the
 	// cold one — warm starting trades iterations, never the answer.
 	hd := noisy(5.4, 10.2, 16.2)
-	coldD, err := pl.Solve(hd, opts, nil, nil)
+	coldD, err := pl.Solve(SolveRequest{H: hd, InvertOptions: opts})
 	if err != nil {
 		t.Fatal(err)
 	}
-	warmD, err := pl.Solve(hd, opts, cold0.Profile, nil)
+	warmD, err := pl.Solve(SolveRequest{H: hd, Warm: cold0.Profile, InvertOptions: opts})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func TestPlanWarmStartEquivalence(t *testing.T) {
 // TestPlanWarmStartRejectsWrongLength guards the grid-length contract.
 func TestPlanWarmStartRejectsWrongLength(t *testing.T) {
 	pl, h := fig4Plan(t)
-	if _, err := pl.Solve(h, InvertOptions{}, make(dsp.Vec, 3), nil); err == nil {
+	if _, err := pl.Solve(SolveRequest{H: h, Warm: make(dsp.Vec, 3), InvertOptions: InvertOptions{}}); err == nil {
 		t.Error("mismatched warm-start length accepted")
 	}
 }
@@ -135,13 +135,13 @@ func TestPlanWarmStartRejectsWrongLength(t *testing.T) {
 func TestPlanSolveDstReuse(t *testing.T) {
 	pl, h := fig4Plan(t)
 	opts := InvertOptions{MaxIter: 1500}
-	fresh, err := pl.Solve(h, opts, nil, nil)
+	fresh, err := pl.Solve(SolveRequest{H: h, InvertOptions: opts})
 	if err != nil {
 		t.Fatal(err)
 	}
 	dst := &Result{}
 	for k := 0; k < 3; k++ {
-		got, err := pl.Solve(h, opts, nil, dst)
+		got, err := pl.Solve(SolveRequest{H: h, Dst: dst, InvertOptions: opts})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -169,13 +169,13 @@ func TestPlanSolveSteadyStateAllocsNothing(t *testing.T) {
 	pl, h := fig4Plan(t)
 	opts := InvertOptions{MaxIter: 200}
 	dst := &Result{}
-	warm, err := pl.Solve(h, opts, nil, dst)
+	warm, err := pl.Solve(SolveRequest{H: h, Dst: dst, InvertOptions: opts})
 	if err != nil {
 		t.Fatal(err)
 	}
 	seed := warm.Profile
 	allocs := testing.AllocsPerRun(20, func() {
-		if _, err := pl.Solve(h, opts, seed, dst); err != nil {
+		if _, err := pl.Solve(SolveRequest{H: h, Warm: seed, Dst: dst, InvertOptions: opts}); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -190,7 +190,7 @@ func TestPlanSolveSteadyStateAllocsNothing(t *testing.T) {
 func TestPlanSolveConcurrentIdentical(t *testing.T) {
 	pl, h := fig4Plan(t)
 	opts := InvertOptions{MaxIter: 800}
-	want, err := pl.Solve(h, opts, nil, nil)
+	want, err := pl.Solve(SolveRequest{H: h, InvertOptions: opts})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +202,7 @@ func TestPlanSolveConcurrentIdentical(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			results[w], errs[w] = pl.Solve(h, opts, nil, nil)
+			results[w], errs[w] = pl.Solve(SolveRequest{H: h, InvertOptions: opts})
 		}(w)
 	}
 	wg.Wait()
@@ -235,7 +235,7 @@ func benchPlan(b *testing.B) (*Plan, dsp.Vec, dsp.Vec) {
 		}
 		return h
 	}
-	seedRes, err := pl.Solve(noisy(), InvertOptions{MaxIter: 4000}, nil, nil)
+	seedRes, err := pl.Solve(SolveRequest{H: noisy(), InvertOptions: InvertOptions{MaxIter: 4000}})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -250,7 +250,7 @@ func BenchmarkPlanSolveColdStart(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := pl.Solve(h, InvertOptions{MaxIter: 4000}, nil, dst)
+		res, err := pl.Solve(SolveRequest{H: h, Dst: dst, InvertOptions: InvertOptions{MaxIter: 4000}})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -264,7 +264,7 @@ func BenchmarkPlanSolveWarmStart(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := pl.Solve(h, InvertOptions{MaxIter: 4000}, seed, dst)
+		res, err := pl.Solve(SolveRequest{H: h, Warm: seed, Dst: dst, InvertOptions: InvertOptions{MaxIter: 4000}})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -297,20 +297,20 @@ func TestGapStopWarmColdEquivalence(t *testing.T) {
 		}
 		wNorm := sigma * math.Sqrt(2*float64(n))
 		opts := InvertOptions{MaxIter: 4000, NoiseFloor: wNorm}
-		seed, err := pl.Solve(noisy(), opts, nil, nil)
+		seed, err := pl.Solve(SolveRequest{H: noisy(), InvertOptions: opts})
 		if err != nil {
 			t.Fatal(err)
 		}
 		h := noisy()
-		cold, err := pl.Solve(h, opts, nil, nil)
+		cold, err := pl.Solve(SolveRequest{H: h, InvertOptions: opts})
 		if err != nil {
 			t.Fatal(err)
 		}
-		warm, err := pl.Solve(h, opts, seed.Profile, nil)
+		warm, err := pl.Solve(SolveRequest{H: h, Warm: seed.Profile, InvertOptions: opts})
 		if err != nil {
 			t.Fatal(err)
 		}
-		full, err := pl.Solve(h, InvertOptions{MaxIter: 4000, Stop: StopIterate}, nil, nil)
+		full, err := pl.Solve(SolveRequest{H: h, InvertOptions: InvertOptions{MaxIter: 4000, Stop: StopIterate}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -346,14 +346,14 @@ func TestGapStopWarmColdEquivalence(t *testing.T) {
 // disables the gap rule entirely.
 func TestGapTolOverride(t *testing.T) {
 	pl, h := fig4Plan(t)
-	loose, err := pl.Solve(h, InvertOptions{MaxIter: 2000, GapTol: 1e12}, nil, nil)
+	loose, err := pl.Solve(SolveRequest{H: h, InvertOptions: InvertOptions{MaxIter: 2000, GapTol: 1e12}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !loose.Converged || loose.Iterations > 2*gapEvery+polishBudget {
 		t.Errorf("huge GapTol: iterations %d, converged %v — want near-immediate stop", loose.Iterations, loose.Converged)
 	}
-	plain, err := pl.Solve(h, InvertOptions{MaxIter: 2000}, nil, nil)
+	plain, err := pl.Solve(SolveRequest{H: h, InvertOptions: InvertOptions{MaxIter: 2000}})
 	if err != nil {
 		t.Fatal(err)
 	}

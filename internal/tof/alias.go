@@ -125,10 +125,13 @@ func (wr *windowRefit) solve(cand, alpha, eps float64, w []float64, forceCold bo
 	if g != nil && !forceCold && !g.off && len(g.profile) == len(wr.plan.Taus) {
 		warm = g.profile
 	}
-	res, err := wr.plan.Solve(wr.rot, ndft.InvertOptions{
-		Alpha: alpha, Epsilon: eps, MaxIter: 600,
-		Stop: wr.e.cfg.Stop, GapScale: wr.e.cfg.GapScale, NoiseFloor: wr.noise,
-	}, warm, wr.dst)
+	res, err := wr.plan.Solve(ndft.SolveRequest{
+		H: wr.rot, Warm: warm, Dst: wr.dst,
+		InvertOptions: ndft.InvertOptions{
+			Alpha: alpha, Epsilon: eps, MaxIter: 600,
+			Stop: wr.e.cfg.Stop, GapScale: wr.e.cfg.GapScale, NoiseFloor: wr.noise,
+		},
+	})
 	if err != nil {
 		return refitScore{}, 0, err
 	}

@@ -1,0 +1,133 @@
+package tof
+
+import (
+	"sync"
+	"time"
+
+	"chronos/internal/ndft"
+)
+
+// CoalescerConfig tunes a cross-session solve coalescer.
+type CoalescerConfig struct {
+	// MaxBatch caps how many requests one coalesced solve may carry
+	// (default 16, one batch-lane pair of the solver's vector kernel;
+	// 1 disables coalescing entirely). A batch flushes the moment it
+	// fills, so the cap also bounds how much laggard work one flush can
+	// pick up.
+	MaxBatch int
+	// Wait bounds how long the first request of a forming batch holds
+	// the door open for companions before flushing whatever arrived
+	// (default 200 µs — roughly one cold solve on the evaluation
+	// geometry, so waiting can at most double a solo solve's latency
+	// while a filled batch repays the wait many times over). A solo
+	// request therefore never stalls: after Wait it falls through to a
+	// B=1 solve, which is byte-identical to an uncoalesced Solve.
+	Wait time.Duration
+}
+
+func (c CoalescerConfig) withDefaults() CoalescerConfig {
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 16
+	}
+	if c.Wait == 0 {
+		c.Wait = 200 * time.Microsecond
+	}
+	return c
+}
+
+// Coalescer gathers concurrent solve requests that target the same
+// NDFT plan into batched SolveBatch calls. Sessions that share a band
+// geometry already share one plan through the registry; the coalescer
+// closes the remaining gap by letting their simultaneous inversions
+// share the dictionary's memory traffic too. Because SolveBatch is
+// byte-identical to sequential Solve per request, coalescing changes
+// only throughput and latency — never a result — so sessions stay
+// deterministic even though batch composition depends on timing.
+//
+// A Coalescer is safe for concurrent use and is meant to be shared: set
+// one instance in the Config of every estimator whose sessions should
+// batch together. Requests for different plans never wait on each
+// other.
+type Coalescer struct {
+	cfg CoalescerConfig
+
+	mu      sync.Mutex
+	forming map[*ndft.Plan]*formingBatch
+}
+
+// formingBatch is one plan's open batch: the leader (first arrival)
+// owns the flush, followers append themselves and wait on done.
+type formingBatch struct {
+	reqs []ndft.SolveRequest
+	full chan struct{} // closed by the follower that fills the batch
+	done chan struct{} // closed by the leader after SolveBatch returns
+	err  error
+}
+
+// NewCoalescer builds a coalescer with the given (defaulted) config.
+func NewCoalescer(cfg CoalescerConfig) *Coalescer {
+	return &Coalescer{cfg: cfg.withDefaults(), forming: make(map[*ndft.Plan]*formingBatch)}
+}
+
+// Submit solves one request against plan, coalescing it with any
+// concurrent submissions for the same plan. It returns the request's
+// result and the width of the batch that carried it (1 when the request
+// ran alone). A nil Coalescer degrades to a plain Solve, so callers can
+// thread an optional coalescer without guarding every call site.
+//
+// Error semantics follow SolveBatch: a malformed request fails its
+// whole batch, so callers should validate shapes before submitting —
+// exactly as they would before a direct Solve.
+func (c *Coalescer) Submit(plan *ndft.Plan, req ndft.SolveRequest) (*ndft.Result, int, error) {
+	if c == nil || c.cfg.MaxBatch <= 1 {
+		res, err := plan.Solve(req)
+		return res, 1, err
+	}
+
+	c.mu.Lock()
+	if b := c.forming[plan]; b != nil {
+		// Follower: join the open batch and wait for the leader's flush.
+		idx := len(b.reqs)
+		b.reqs = append(b.reqs, req)
+		if len(b.reqs) == c.cfg.MaxBatch {
+			// Full: close the door so later arrivals start a new batch,
+			// and release the leader from its bounded wait.
+			delete(c.forming, plan)
+			close(b.full)
+		}
+		c.mu.Unlock()
+		<-b.done
+		if b.err != nil {
+			return nil, len(b.reqs), b.err
+		}
+		return b.reqs[idx].Dst, len(b.reqs), nil
+	}
+
+	// Leader: open a batch, hold the door for Wait (or until full), then
+	// flush whatever gathered.
+	b := &formingBatch{full: make(chan struct{}), done: make(chan struct{})}
+	b.reqs = append(b.reqs, req)
+	c.forming[plan] = b
+	c.mu.Unlock()
+
+	timer := time.NewTimer(c.cfg.Wait)
+	select {
+	case <-b.full:
+		timer.Stop()
+	case <-timer.C:
+	}
+
+	c.mu.Lock()
+	if c.forming[plan] == b {
+		delete(c.forming, plan)
+	}
+	c.mu.Unlock()
+	// No follower can reach b anymore: joins happen under mu, and the
+	// map entry is gone. reqs is now stable.
+	b.err = plan.SolveBatch(b.reqs)
+	close(b.done)
+	if b.err != nil {
+		return nil, len(b.reqs), b.err
+	}
+	return b.reqs[0].Dst, len(b.reqs), nil
+}

@@ -1,0 +1,159 @@
+package tof
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"chronos/internal/dsp"
+	"chronos/internal/ndft"
+	"chronos/internal/wifi"
+)
+
+// coalescePlan builds the evaluation geometry plan and k synthetic
+// three-path measurements against it.
+func coalescePlan(t testing.TB, k int) (*ndft.Plan, []dsp.Vec) {
+	t.Helper()
+	freqs := wifi.Centers(wifi.USBands())
+	plan, err := ndft.NewPlan(freqs, ndft.TauGrid(2*60e-9, 2*0.1e-9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	hs := make([]dsp.Vec, k)
+	for i := range hs {
+		tau := 8 + rng.Float64()*30
+		h := make(dsp.Vec, len(freqs))
+		for j, f := range freqs {
+			for p, d := range []float64{tau, tau + 4.2, tau + 9.5} {
+				ph := -2 * 2 * math.Pi * f * d * 1e-9
+				h[j] += dsp.FromPolar([]float64{1, 0.6, 0.4}[p], ph)
+			}
+			h[j] += complex(rng.NormFloat64()*0.05, rng.NormFloat64()*0.05)
+		}
+		hs[i] = h
+	}
+	return plan, hs
+}
+
+// sameResult asserts two results are byte-identical in every field the
+// solver computes.
+func sameResult(t *testing.T, got, want *ndft.Result) {
+	t.Helper()
+	if len(got.Profile) != len(want.Profile) {
+		t.Fatalf("profile length %d != %d", len(got.Profile), len(want.Profile))
+	}
+	for i := range got.Profile {
+		if got.Profile[i] != want.Profile[i] {
+			t.Fatalf("profile[%d]: %v != %v", i, got.Profile[i], want.Profile[i])
+		}
+	}
+	if got.Residual != want.Residual || got.Iterations != want.Iterations ||
+		got.Converged != want.Converged || got.Work != want.Work {
+		t.Fatalf("telemetry mismatch: got %+v want %+v", got, want)
+	}
+}
+
+// TestCoalescerMergesConcurrentSubmits pins the coalescer's core
+// promise: concurrent submissions for one plan merge into one batch,
+// and every merged result is byte-identical to a solo Solve.
+func TestCoalescerMergesConcurrentSubmits(t *testing.T) {
+	const k = 8
+	plan, hs := coalescePlan(t, k)
+	opts := ndft.InvertOptions{MaxIter: 600}
+
+	want := make([]*ndft.Result, k)
+	for i, h := range hs {
+		r, err := plan.Solve(ndft.SolveRequest{H: h, InvertOptions: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+
+	// A generous door-hold: the batch fills (k == MaxBatch) long before
+	// the timer, so the timer path never decides this test.
+	c := NewCoalescer(CoalescerConfig{MaxBatch: k, Wait: 2 * time.Second})
+	got := make([]*ndft.Result, k)
+	widths := make([]int, k)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			r, b, err := c.Submit(plan, ndft.SolveRequest{H: hs[i], InvertOptions: opts})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i], widths[i] = r, b
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i := range got {
+		if got[i] == nil {
+			t.Fatalf("request %d: no result", i)
+		}
+		sameResult(t, got[i], want[i])
+		if widths[i] < 1 || widths[i] > k {
+			t.Fatalf("request %d: batch width %d out of range", i, widths[i])
+		}
+	}
+	// All k submissions started together against an idle coalescer with
+	// MaxBatch == k: they must have merged into the single full batch.
+	for i, w := range widths {
+		if w != k {
+			t.Fatalf("request %d: batch width %d, want %d (full merge)", i, w, k)
+		}
+	}
+}
+
+// TestCoalescerSoloFallsThrough pins the bounded wait: a lone request
+// flushes as a B=1 batch after Wait and matches a direct Solve.
+func TestCoalescerSoloFallsThrough(t *testing.T) {
+	plan, hs := coalescePlan(t, 1)
+	opts := ndft.InvertOptions{MaxIter: 600}
+	want, err := plan.Solve(ndft.SolveRequest{H: hs[0], InvertOptions: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCoalescer(CoalescerConfig{MaxBatch: 16, Wait: time.Millisecond})
+	got, width, err := c.Submit(plan, ndft.SolveRequest{H: hs[0], InvertOptions: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if width != 1 {
+		t.Fatalf("solo submit coalesced to width %d", width)
+	}
+	sameResult(t, got, want)
+}
+
+// TestCoalescerDisabledPaths pins the degradation contract: a nil
+// coalescer and a MaxBatch=1 coalescer both reduce to plain Solve.
+func TestCoalescerDisabledPaths(t *testing.T) {
+	plan, hs := coalescePlan(t, 1)
+	opts := ndft.InvertOptions{MaxIter: 600}
+	want, err := plan.Solve(ndft.SolveRequest{H: hs[0], InvertOptions: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nilC *Coalescer
+	got, width, err := nilC.Submit(plan, ndft.SolveRequest{H: hs[0], InvertOptions: opts})
+	if err != nil || width != 1 {
+		t.Fatalf("nil coalescer: width %d err %v", width, err)
+	}
+	sameResult(t, got, want)
+
+	c := NewCoalescer(CoalescerConfig{MaxBatch: 1, Wait: time.Second})
+	got, width, err = c.Submit(plan, ndft.SolveRequest{H: hs[0], InvertOptions: opts})
+	if err != nil || width != 1 {
+		t.Fatalf("MaxBatch=1: width %d err %v", width, err)
+	}
+	sameResult(t, got, want)
+}

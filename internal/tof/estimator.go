@@ -96,6 +96,14 @@ type Config struct {
 	// the constant hardware chain delays (§7 observation 2). Obtain it
 	// once via Calibrate.
 	CalibrationOffset float64
+	// Coalescer, when non-nil, batches this estimator's main profile
+	// inversions with concurrent inversions of the same plan geometry
+	// from other sessions (see Coalescer). Results are byte-identical
+	// with or without it; only throughput, latency, and the
+	// Estimate.BatchSize telemetry change. Alias-window refits stay
+	// un-coalesced: they are short, latency-critical, and their window
+	// geometries rarely coincide across sessions.
+	Coalescer *Coalescer
 }
 
 func (c Config) withDefaults() Config {
@@ -194,6 +202,13 @@ type Estimate struct {
 	// ‖w‖₂/‖h‖₂ measured from the spread of repeated CSI pairs (0 when
 	// no band carried repeated pairs).
 	NoiseFloor float64
+	// BatchSize is the widest coalesced solve that carried one of this
+	// estimate's main inversions (1 when every group solved alone or no
+	// coalescer is configured). Unlike the other counters it depends on
+	// wall-clock arrival timing, so it is telemetry, not part of the
+	// deterministic result — the solves themselves are byte-identical
+	// at any batch width.
+	BatchSize int
 }
 
 // ErrNoBands reports that no usable band measurements were supplied.
@@ -556,6 +571,7 @@ func (e *Estimator) estimate(s *Sweep) (*Estimate, error) {
 	var totalIters int
 	allConverged := true
 	var gapMax, noiseRelMax float64
+	batchMax := 1
 	for power, g := range groups {
 		if len(g) < 3 {
 			continue // too few bands to invert meaningfully
@@ -596,6 +612,9 @@ func (e *Estimator) estimate(s *Sweep) (*Estimate, error) {
 		allConverged = allConverged && sol.Converged
 		if sol.GapAtStop > gapMax {
 			gapMax = sol.GapAtStop
+		}
+		if sol.BatchSize > batchMax {
+			batchMax = sol.BatchSize
 		}
 		var tau float64
 		ok := false
@@ -682,6 +701,7 @@ func (e *Estimator) estimate(s *Sweep) (*Estimate, error) {
 		Converged:  allConverged,
 		GapAtStop:  gapMax,
 		NoiseFloor: noiseRelMax,
+		BatchSize:  batchMax,
 	}, nil
 }
 
@@ -712,6 +732,19 @@ type solveMeta struct {
 	Iterations int
 	Converged  bool
 	GapAtStop  float64
+	BatchSize  int
+}
+
+// solveGroup runs one main profile inversion, routing it through the
+// configured coalescer when one is set. The returned batch size is the
+// width of the coalesced solve that carried the request (1 when solved
+// alone or no coalescer is configured).
+func (e *Estimator) solveGroup(plan *ndft.Plan, req ndft.SolveRequest) (*ndft.Result, int, error) {
+	if e.cfg.Coalescer != nil {
+		return e.cfg.Coalescer.Submit(plan, req)
+	}
+	res, err := plan.Solve(req)
+	return res, 1, err
 }
 
 // invertGroup runs Algorithm 1 for one power group and rescales the
@@ -738,14 +771,17 @@ func (e *Estimator) invertGroup(freqs []float64, h dsp.Vec, power int, s *Sweep,
 	if g != nil && !g.off && len(g.profile) == len(plan.Taus) {
 		warm = g.profile
 	}
-	res, err := plan.Solve(h, ndft.InvertOptions{
-		Alpha:      e.cfg.Alpha,
-		AlphaScale: e.cfg.AlphaFactor,
-		MaxIter:    e.cfg.MaxIter,
-		Stop:       e.cfg.Stop,
-		GapScale:   e.cfg.GapScale,
-		NoiseFloor: noiseFloor,
-	}, warm, nil)
+	res, batch, err := e.solveGroup(plan, ndft.SolveRequest{
+		H: h, Warm: warm,
+		InvertOptions: ndft.InvertOptions{
+			Alpha:      e.cfg.Alpha,
+			AlphaScale: e.cfg.AlphaFactor,
+			MaxIter:    e.cfg.MaxIter,
+			Stop:       e.cfg.Stop,
+			GapScale:   e.cfg.GapScale,
+			NoiseFloor: noiseFloor,
+		},
+	})
 	if err != nil {
 		return nil, solveMeta{}, err
 	}
@@ -756,7 +792,7 @@ func (e *Estimator) invertGroup(freqs []float64, h dsp.Vec, power int, s *Sweep,
 	for i, t := range res.Taus {
 		taus[i] = t / float64(power)
 	}
-	meta := solveMeta{Work: res.Work, Iterations: res.Iterations, Converged: res.Converged, GapAtStop: res.GapAtStop}
+	meta := solveMeta{Work: res.Work, Iterations: res.Iterations, Converged: res.Converged, GapAtStop: res.GapAtStop, BatchSize: batch}
 	return &Profile{Taus: taus, Magnitude: res.Magnitude, Power: power}, meta, nil
 }
 

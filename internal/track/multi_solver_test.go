@@ -1,0 +1,76 @@
+package track
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"chronos/internal/sim"
+	"chronos/internal/tof"
+	"chronos/internal/wifi"
+)
+
+// runSolverMulti runs one solver-backed multi-device campaign with the
+// given coalescer (nil = per-session solving).
+func runSolverMulti(seed int64, office *sim.Office, co *tof.Coalescer) *MultiResult {
+	rng := rand.New(rand.NewSource(seed))
+	return RunMulti(rng, MultiConfig{
+		Scheduler: SchedulerConfig{
+			Bands:           wifi.Bands5GHz(),
+			Devices:         4,
+			SweepsPerDevice: 2,
+		},
+		Speed: 1.0,
+		Solver: &MultiSolver{
+			Office: office,
+			Estimator: tof.Config{
+				Mode: tof.Bands5GHzOnly, MaxIter: 600, Coalescer: co,
+			},
+		},
+	})
+}
+
+// TestRunMultiSolverCoalesced is the coalescer's race and determinism
+// test: four devices range concurrently through real channel inversion,
+// once solving per-session and once through a shared coalescer. Under
+// -race this exercises the coalescer's leader/follower handoff; in any
+// mode it pins the end-to-end batching contract — every fix must be
+// byte-identical whether or not (and however) its solve was batched.
+func TestRunMultiSolverCoalesced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-device solver campaign")
+	}
+	rng := rand.New(rand.NewSource(3))
+	office := sim.NewOffice(rng, sim.OfficeConfig{})
+
+	solo := runSolverMulti(9, office, nil)
+	co := tof.NewCoalescer(tof.CoalescerConfig{MaxBatch: 4, Wait: 5 * time.Millisecond})
+	batched := runSolverMulti(9, office, co)
+
+	if len(batched.Devices) != len(solo.Devices) {
+		t.Fatalf("device count %d != %d", len(batched.Devices), len(solo.Devices))
+	}
+	fixes := 0
+	for d := range solo.Devices {
+		sf, bf := solo.Devices[d].Fixes, batched.Devices[d].Fixes
+		if len(sf) != len(bf) {
+			t.Fatalf("device %d: %d solo fixes, %d batched", d, len(sf), len(bf))
+		}
+		fixes += len(sf)
+		for i := range sf {
+			if sf[i].Range != bf[i].Range || sf[i].Smoothed != bf[i].Smoothed ||
+				sf[i].Work != bf[i].Work || sf[i].Converged != bf[i].Converged {
+				t.Fatalf("device %d fix %d: solo %+v != batched %+v", d, i, sf[i], bf[i])
+			}
+			if bf[i].BatchSize < 1 || bf[i].BatchSize > 4 {
+				t.Fatalf("device %d fix %d: batch size %d out of range", d, i, bf[i].BatchSize)
+			}
+			if sf[i].BatchSize != 1 {
+				t.Fatalf("device %d fix %d: solo batch size %d, want 1", d, i, sf[i].BatchSize)
+			}
+		}
+	}
+	if fixes == 0 {
+		t.Fatal("no fixes produced")
+	}
+}

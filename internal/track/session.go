@@ -90,6 +90,12 @@ type Fix struct {
 	// CappedFixes so campaigns can expose cap-rate.
 	Work      int64
 	Converged bool
+	// BatchSize is the widest coalesced solve behind the fix's estimate
+	// (tof.Estimate.BatchSize): 1 when the session solves alone, >1 when
+	// a shared tof.Coalescer merged its inversions with concurrent
+	// sessions'. Timing-dependent telemetry — the fix itself is
+	// byte-identical at any batch width.
+	BatchSize int
 }
 
 // SessionResult is one session's streamed output.
@@ -216,7 +222,7 @@ func RunSession(rng *rand.Rand, office *sim.Office, est *tof.Estimator, cfg Sess
 			res.Fixes = append(res.Fixes, Fix{
 				At: now, Latency: now - start, Bands: acc.Bands(),
 				Range: raw, Smoothed: smoothed, TrueRange: truth, Accepted: accepted,
-				Work: r.Work, Converged: r.Converged,
+				Work: r.Work, Converged: r.Converged, BatchSize: r.BatchSize,
 			})
 			if !r.Converged {
 				res.CappedFixes++
