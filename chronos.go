@@ -122,7 +122,8 @@ func HasVectorKernel() bool { return ndft.HasVectorKernel() }
 // together via ToFConfig.Coalescer.
 type SolveCoalescer = tof.Coalescer
 
-// SolveCoalescerConfig tunes a coalescer (batch cap, door-hold wait).
+// SolveCoalescerConfig tunes a coalescer (batch cap, door-hold wait,
+// idle bypass horizon).
 type SolveCoalescerConfig = tof.CoalescerConfig
 
 // NewSolveCoalescer builds a coalescer with the given config.

@@ -22,7 +22,9 @@ type SolveRequest struct {
 	// Dst, when non-nil, is reused for the result (its Profile and
 	// Magnitude backing arrays are recycled), making steady-state solves
 	// allocation-free; nil allocates a fresh Result, which SolveBatch
-	// writes back into the request so the caller can read it.
+	// writes back into the request so the caller can read it. Requests
+	// in one SolveBatch must carry distinct Dsts (aliasing is rejected
+	// at validation — two requests cannot share one Result).
 	Dst *Result
 	InvertOptions
 }
@@ -156,11 +158,12 @@ func (pl *Plan) Solve(req SolveRequest) (*Result, error) {
 // operation runs, never the operations themselves or their order within
 // a request.
 //
-// All requests are validated before any solving starts; on error (the
-// returned error names the failing request index) no request has been
-// solved. Results are written to each request's Dst, allocating one when
-// nil, so callers read reqs[i].Dst after return. Steady-state batches
-// with recycled Dsts allocate nothing.
+// All requests are validated before any solving starts — shape checks
+// plus a rejection of two requests sharing one non-nil Dst — and on
+// error (the returned error names the failing request index) no request
+// has been solved. Results are written to each request's Dst, allocating
+// one when nil, so callers read reqs[i].Dst after return. Steady-state
+// batches with recycled Dsts allocate nothing.
 func (pl *Plan) SolveBatch(reqs []SolveRequest) error {
 	if len(reqs) == 0 {
 		return nil
@@ -172,6 +175,16 @@ func (pl *Plan) SolveBatch(reqs []SolveRequest) error {
 		}
 		if reqs[i].Warm != nil && len(reqs[i].Warm) != m {
 			return fmt.Errorf("ndft: request %d: warm start length %d != %d grid points", i, len(reqs[i].Warm), m)
+		}
+		if reqs[i].Dst == nil {
+			continue
+		}
+		// Two requests finalizing into one Result would silently
+		// overwrite each other; reject the aliasing up front.
+		for k := 0; k < i; k++ {
+			if reqs[k].Dst == reqs[i].Dst {
+				return fmt.Errorf("ndft: request %d: Dst aliases request %d's (each request needs its own Result)", i, k)
+			}
 		}
 	}
 

@@ -163,6 +163,14 @@ func TestSolveBatchValidatesUpfront(t *testing.T) {
 	if err := pl.SolveBatch(reqs); err == nil {
 		t.Fatal("bad warm length accepted")
 	}
+	// Two requests sharing one Dst would finalize into the same Result,
+	// silently overwriting one of them — rejected at validation.
+	shared := &Result{}
+	reqs = []SolveRequest{cloneReq(base[0]), cloneReq(base[1])}
+	reqs[0].Dst, reqs[1].Dst = shared, shared
+	if err := pl.SolveBatch(reqs); err == nil {
+		t.Fatal("aliased Dst accepted")
+	}
 	if err := pl.SolveBatch(nil); err != nil {
 		t.Errorf("empty batch: %v", err)
 	}

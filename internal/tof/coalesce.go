@@ -22,7 +22,19 @@ type CoalescerConfig struct {
 	// while a filled batch repays the wait many times over). A solo
 	// request therefore never stalls: after Wait it falls through to a
 	// B=1 solve, which is byte-identical to an uncoalesced Solve.
+	// Leaders only hold the door at all while companions are plausible —
+	// see IdleAfter.
 	Wait time.Duration
+	// IdleAfter bounds how long leaders keep paying the door-hold after
+	// the coalescer last observed concurrency (two submissions in flight
+	// at once). Past it, a leader flushes immediately instead of holding
+	// for Wait, so an estimator that turns out to be the only active
+	// session pays no added latency per solve; the next concurrent
+	// collision re-arms holding. The default 250 ms spans a few sweep
+	// rounds at the paper's sweep rate, so sessions whose sweeps overlap
+	// once a round keep the hold armed between rounds. Negative means
+	// always hold.
+	IdleAfter time.Duration
 }
 
 func (c CoalescerConfig) withDefaults() CoalescerConfig {
@@ -31,6 +43,9 @@ func (c CoalescerConfig) withDefaults() CoalescerConfig {
 	}
 	if c.Wait == 0 {
 		c.Wait = 200 * time.Microsecond
+	}
+	if c.IdleAfter == 0 {
+		c.IdleAfter = 250 * time.Millisecond
 	}
 	return c
 }
@@ -47,12 +62,21 @@ func (c CoalescerConfig) withDefaults() CoalescerConfig {
 // A Coalescer is safe for concurrent use and is meant to be shared: set
 // one instance in the Config of every estimator whose sessions should
 // batch together. Requests for different plans never wait on each
-// other.
+// other, and the door-hold is adaptive: until two submissions have
+// actually overlapped (and again whenever they stop overlapping for
+// IdleAfter) leaders flush immediately, so a coalescer configured "just
+// in case" costs a single-session deployment nothing.
 type Coalescer struct {
 	cfg CoalescerConfig
 
 	mu      sync.Mutex
 	forming map[*ndft.Plan]*formingBatch
+	// inflight counts Submits currently inside the coalescer (forming,
+	// waiting, or solving); lastOverlap is the last instant a Submit
+	// arrived while another was in flight — the signal that companions
+	// are plausible and a leader's door-hold can pay off.
+	inflight    int
+	lastOverlap time.Time
 }
 
 // formingBatch is one plan's open batch: the leader (first arrival)
@@ -73,7 +97,9 @@ func NewCoalescer(cfg CoalescerConfig) *Coalescer {
 // concurrent submissions for the same plan. It returns the request's
 // result and the width of the batch that carried it (1 when the request
 // ran alone). A nil Coalescer degrades to a plain Solve, so callers can
-// thread an optional coalescer without guarding every call site.
+// thread an optional coalescer without guarding every call site; a
+// non-nil one adds latency only while concurrency is actually being
+// observed (see CoalescerConfig.IdleAfter).
 //
 // Error semantics follow SolveBatch: a malformed request fails its
 // whole batch, so callers should validate shapes before submitting —
@@ -85,6 +111,10 @@ func (c *Coalescer) Submit(plan *ndft.Plan, req ndft.SolveRequest) (*ndft.Result
 	}
 
 	c.mu.Lock()
+	if c.inflight > 0 {
+		c.lastOverlap = time.Now()
+	}
+	c.inflight++
 	if b := c.forming[plan]; b != nil {
 		// Follower: join the open batch and wait for the leader's flush.
 		idx := len(b.reqs)
@@ -97,10 +127,25 @@ func (c *Coalescer) Submit(plan *ndft.Plan, req ndft.SolveRequest) (*ndft.Result
 		}
 		c.mu.Unlock()
 		<-b.done
+		c.exit()
 		if b.err != nil {
 			return nil, len(b.reqs), b.err
 		}
 		return b.reqs[idx].Dst, len(b.reqs), nil
+	}
+
+	// Holding the door only pays when a companion might arrive: if no
+	// two submissions have overlapped for IdleAfter, the coalescer is
+	// effectively single-session and the leader flushes immediately — a
+	// B=1 solve with zero added latency. A request arriving during this
+	// solve records the overlap (above), re-arming the hold for the
+	// leaders that follow.
+	hold := c.cfg.IdleAfter < 0 || time.Since(c.lastOverlap) <= c.cfg.IdleAfter
+	if !hold {
+		c.mu.Unlock()
+		res, err := plan.Solve(req)
+		c.exit()
+		return res, 1, err
 	}
 
 	// Leader: open a batch, hold the door for Wait (or until full), then
@@ -126,8 +171,16 @@ func (c *Coalescer) Submit(plan *ndft.Plan, req ndft.SolveRequest) (*ndft.Result
 	// map entry is gone. reqs is now stable.
 	b.err = plan.SolveBatch(b.reqs)
 	close(b.done)
+	c.exit()
 	if b.err != nil {
 		return nil, len(b.reqs), b.err
 	}
 	return b.reqs[0].Dst, len(b.reqs), nil
+}
+
+// exit retires one in-flight submission.
+func (c *Coalescer) exit() {
+	c.mu.Lock()
+	c.inflight--
+	c.mu.Unlock()
 }

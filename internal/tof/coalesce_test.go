@@ -76,6 +76,7 @@ func TestCoalescerMergesConcurrentSubmits(t *testing.T) {
 	// A generous door-hold: the batch fills (k == MaxBatch) long before
 	// the timer, so the timer path never decides this test.
 	c := NewCoalescer(CoalescerConfig{MaxBatch: k, Wait: 2 * time.Second})
+	armCoalescer(c)
 	got := make([]*ndft.Result, k)
 	widths := make([]int, k)
 	start := make(chan struct{})
@@ -114,8 +115,18 @@ func TestCoalescerMergesConcurrentSubmits(t *testing.T) {
 	}
 }
 
+// armCoalescer marks c as having just observed concurrent submissions,
+// so its next leader holds the door. Tests that pin the door-hold
+// contracts arm explicitly instead of racing real overlapping submits.
+func armCoalescer(c *Coalescer) {
+	c.mu.Lock()
+	c.lastOverlap = time.Now()
+	c.mu.Unlock()
+}
+
 // TestCoalescerSoloFallsThrough pins the bounded wait: a lone request
-// flushes as a B=1 batch after Wait and matches a direct Solve.
+// against an armed coalescer holds the door, then flushes as a B=1
+// batch after Wait and matches a direct Solve.
 func TestCoalescerSoloFallsThrough(t *testing.T) {
 	plan, hs := coalescePlan(t, 1)
 	opts := ndft.InvertOptions{MaxIter: 600}
@@ -124,6 +135,7 @@ func TestCoalescerSoloFallsThrough(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := NewCoalescer(CoalescerConfig{MaxBatch: 16, Wait: time.Millisecond})
+	armCoalescer(c)
 	got, width, err := c.Submit(plan, ndft.SolveRequest{H: hs[0], InvertOptions: opts})
 	if err != nil {
 		t.Fatal(err)
@@ -156,4 +168,31 @@ func TestCoalescerDisabledPaths(t *testing.T) {
 		t.Fatalf("MaxBatch=1: width %d err %v", width, err)
 	}
 	sameResult(t, got, want)
+}
+
+// TestCoalescerIdleBypass pins the single-session fast path: a coalescer
+// that has never observed two submissions in flight at once must not
+// hold the door at all. Wait is an hour here, so this test finishing at
+// all proves the leaders bypassed the hold — and the bypassed solves
+// are still byte-identical to a direct Solve.
+func TestCoalescerIdleBypass(t *testing.T) {
+	plan, hs := coalescePlan(t, 1)
+	opts := ndft.InvertOptions{MaxIter: 600}
+	want, err := plan.Solve(ndft.SolveRequest{H: hs[0], InvertOptions: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCoalescer(CoalescerConfig{MaxBatch: 16, Wait: time.Hour})
+	for i := 0; i < 2; i++ {
+		// Sequential submissions never overlap, so the bypass persists
+		// across solves.
+		got, width, err := c.Submit(plan, ndft.SolveRequest{H: hs[0], InvertOptions: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if width != 1 {
+			t.Fatalf("idle submit %d coalesced to width %d", i, width)
+		}
+		sameResult(t, got, want)
+	}
 }

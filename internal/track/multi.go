@@ -33,9 +33,11 @@ type MultiConfig struct {
 	// profile inversion for its device, and devices run on concurrent
 	// goroutines so their simultaneous solves coalesce into batched
 	// SolveBatch calls when the estimator config carries a shared
-	// tof.Coalescer. Per-device randomness is seeded in device order
-	// from rng, so ranges and RMSEs stay deterministic at any goroutine
-	// interleaving — batching changes Fix.BatchSize, never a result.
+	// tof.Coalescer. All per-device randomness — walk waypoints, radio
+	// noise, channel draws — comes from a device RNG seeded in device
+	// order from rng, so ranges and RMSEs stay deterministic at any
+	// goroutine interleaving — batching changes Fix.BatchSize, never a
+	// result.
 	Solver *MultiSolver
 }
 
@@ -93,8 +95,14 @@ func RunMulti(rng *rand.Rand, cfg MultiConfig) *MultiResult {
 	trackers := make([]*RangeTracker, n)
 	walkedTo := make([]float64, n)
 	for d := 0; d < n; d++ {
-		walks[d] = drone.NewWalk(rng, cfg.RoomW, cfg.RoomH)
-		walks[d].Speed = cfg.Speed
+		if cfg.Solver == nil {
+			// Solver-mode walks are built inside each device's goroutine
+			// from that device's own RNG: a walk retains the *rand.Rand it
+			// was built with for waypoint draws, and the shared rng is not
+			// goroutine-safe.
+			walks[d] = drone.NewWalk(rng, cfg.RoomW, cfg.RoomH)
+			walks[d].Speed = cfg.Speed
+		}
 		trackers[d] = NewRangeTracker(cfg.Filter)
 	}
 
@@ -106,7 +114,7 @@ func RunMulti(rng *rand.Rand, cfg MultiConfig) *MultiResult {
 	smoothSq := make([]float64, n)
 
 	if cfg.Solver != nil {
-		runMultiSolver(rng, cfg, sched, walks, trackers, out, rawSq, smoothSq)
+		runMultiSolver(rng, cfg, sched, trackers, out, rawSq, smoothSq)
 		finishMulti(out, trackers, rawSq, smoothSq)
 		return out
 	}
@@ -152,11 +160,12 @@ func finishMulti(out *MultiResult, trackers []*RangeTracker, rawSq, smoothSq []f
 // runMultiSolver replays the schedule's fix events through real channel
 // inversion, one goroutine per device so concurrent sweeps of the shared
 // band geometry coalesce into batched solves. Each device draws from its
-// own RNG (seeded in device order before the fan-out) and owns its walk,
-// link, estimator, and tracker, so the only cross-device coupling is the
-// coalescer — whose batches are byte-identical to solo solves, keeping
-// the output deterministic even though batch composition is not.
-func runMultiSolver(rng *rand.Rand, cfg MultiConfig, sched *Schedule, walks []*drone.Walk, trackers []*RangeTracker, out *MultiResult, rawSq, smoothSq []float64) {
+// own RNG (seeded in device order before the fan-out) and constructs its
+// own walk, link, estimator, and tracker inside its goroutine — nothing
+// random is shared, so the only cross-device coupling is the coalescer,
+// whose batches are byte-identical to solo solves, keeping the output
+// deterministic even though batch composition is not.
+func runMultiSolver(rng *rand.Rand, cfg MultiConfig, sched *Schedule, trackers []*RangeTracker, out *MultiResult, rawSq, smoothSq []float64) {
 	ms := cfg.Solver
 	pairs := ms.PairsPerBand
 	if pairs == 0 {
@@ -184,6 +193,12 @@ func runMultiSolver(rng *rand.Rand, cfg MultiConfig, sched *Schedule, walks []*d
 		go func(d int) {
 			defer wg.Done()
 			rngd := rand.New(rand.NewSource(seeds[d]))
+			// The walk is owned by this goroutine and draws its waypoints
+			// from the device RNG; it lives in the office-clamped room, so
+			// walk geometry and simulated placements always agree even
+			// when cfg.RoomW/RoomH exceed the office.
+			walk := drone.NewWalk(rngd, roomW, roomH)
+			walk.Speed = cfg.Speed
 			est := tof.NewEstimator(ms.Estimator)
 			bands := tof.BandsFor(est.Config())
 
@@ -204,10 +219,10 @@ func runMultiSolver(rng *rand.Rand, cfg MultiConfig, sched *Schedule, walks []*d
 			walkedTo := 0.0
 			for _, fe := range byDev[d] {
 				if t := fe.At.Seconds(); t > walkedTo {
-					walks[d].Advance(t - walkedTo)
+					walk.Advance(t - walkedTo)
 					walkedTo = t
 				}
-				p := walks[d].Pos()
+				p := walk.Pos()
 				pos := geo.Point{X: roomOrigin.X + p.X, Y: roomOrigin.Y + p.Y}
 				pl := sim.Placement{TX: anchor, RX: pos}
 				link.Channel = office.Channel(pl, 5.5e9)

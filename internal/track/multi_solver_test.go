@@ -20,7 +20,12 @@ func runSolverMulti(seed int64, office *sim.Office, co *tof.Coalescer) *MultiRes
 			Devices:         4,
 			SweepsPerDevice: 2,
 		},
-		Speed: 1.0,
+		// Deliberately unphysical: fix instants are tens of milliseconds
+		// apart, so at 300 m/s every advance spans more than the room
+		// diagonal and is guaranteed to cross waypoints — exercising each
+		// device's walk RNG from its goroutine, which is what -race must
+		// see to prove the walks don't share the parent generator.
+		Speed: 300.0,
 		Solver: &MultiSolver{
 			Office: office,
 			Estimator: tof.Config{
