@@ -24,6 +24,7 @@ import (
 	"chronos/internal/hop"
 	"chronos/internal/loc"
 	"chronos/internal/ndft"
+	"chronos/internal/obs"
 	"chronos/internal/rf"
 	"chronos/internal/sim"
 	"chronos/internal/tof"
@@ -137,6 +138,20 @@ type PlanRegistryStats = tof.RegistryStats
 // estimator resolves solver plans from — the observability surface for
 // long-running services sweeping many estimator configurations.
 func SharedPlanRegistryStats() PlanRegistryStats { return tof.SharedRegistryStats() }
+
+// ObsSnapshot is one point-in-time rendering of the process-wide
+// observability layer: pipeline counters (solve requests, fixes, hop
+// events), derived gauges (fix rate, cap rate, registry occupancy), and
+// stage-latency histograms with p50/p95/p99.
+type ObsSnapshot = obs.Snapshot
+
+// SetObsEnabled turns metric recording on or off. Off (the default)
+// every instrumentation point costs a single atomic load, and the
+// instrumented hot paths stay 0 allocs/op either way.
+func SetObsEnabled(on bool) { obs.SetEnabled(on) }
+
+// CaptureObs renders every registered metric into a snapshot.
+func CaptureObs() *ObsSnapshot { return obs.Capture() }
 
 // ToFEstimator turns CSI band sweeps into sub-nanosecond time-of-flight
 // estimates (§4–§7 of the paper).

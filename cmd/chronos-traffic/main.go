@@ -4,16 +4,19 @@
 // reported (Fig. 9b/9c).
 //
 //	chronos-traffic -at 6 -sweeps 1
+//	chronos-traffic -metrics :6060   # live /metrics + pprof endpoint
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"os"
 	"time"
 
 	"chronos/internal/hop"
 	"chronos/internal/netsim"
+	"chronos/internal/obs/obshttp"
 	"chronos/internal/wifi"
 )
 
@@ -21,7 +24,18 @@ func main() {
 	at := flag.Float64("at", 6, "localization request time (s)")
 	sweeps := flag.Int("sweeps", 1, "number of back-to-back sweeps requested")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	metrics := flag.String("metrics", "", "serve JSON /metrics and pprof on this address (e.g. :6060)")
+	linger := flag.Duration("linger", 0, "keep the -metrics endpoint serving this long after the report")
 	flag.Parse()
+
+	if *metrics != "" {
+		addr, err := obshttp.Serve(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", addr)
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 
@@ -57,4 +71,8 @@ func main() {
 	lastP := tr.Played[len(tr.Played)-1]
 	fmt.Printf("downloaded %.1f MB, played %.1f MB, final buffer %.0f KB\n",
 		last.Value/1e6, lastP.Value/1e6, (last.Value-lastP.Value)/1e3)
+
+	if *metrics != "" && *linger > 0 {
+		time.Sleep(*linger)
+	}
 }

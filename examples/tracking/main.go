@@ -7,17 +7,45 @@
 // range fix that the constant-velocity filter smooths and gates.
 //
 //	go run ./examples/tracking
+//	go run ./examples/tracking -obs    # + live observability walkthrough
+//
+// With -obs, the run doubles as the observability demo: metric
+// recording is enabled (chronos.SetObsEnabled), the same live /metrics
+// JSON endpoint the cmd binaries expose via their -metrics flag is
+// served on a loopback port and polled once, and the final
+// chronos.CaptureObs snapshot — pipeline counters and p50/p99 stage
+// latencies — is summarized at the end. The fixes themselves are
+// byte-identical either way; instrumentation never changes a result.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"net/http"
 
 	"chronos"
+	"chronos/internal/obs/obshttp"
 )
 
 func main() {
+	withObs := flag.Bool("obs", false, "enable metrics, serve+poll a live /metrics endpoint, and print a final snapshot summary")
+	flag.Parse()
+
+	var metricsAddr string
+	if *withObs {
+		// Equivalent to chronos-track's -metrics flag: enables recording
+		// and serves JSON /metrics plus pprof for the process lifetime.
+		addr, err := obshttp.Serve("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		metricsAddr = addr
+		fmt.Printf("observability on: http://%s/metrics\n\n", addr)
+	}
+
 	rng := rand.New(rand.NewSource(42))
 
 	// A generated office floor and a 5 GHz-only estimator (fast, quirk-free).
@@ -87,4 +115,22 @@ func main() {
 	}
 	fmt.Printf("\nsolver-backed ranging, 4 concurrent devices: %d fixes, %d from coalesced batches\n",
 		fixes, batched)
+
+	if *withObs {
+		// Poll the endpoint once, exactly as an external watcher would...
+		resp, err := http.Get("http://" + metricsAddr + "/metrics")
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		fmt.Printf("\n/metrics serves %d bytes of snapshot JSON; headline:\n", len(body))
+		// ...and read the in-process snapshot for the same numbers the
+		// cmd binaries' -watch mode prints live.
+		s := chronos.CaptureObs()
+		fmt.Printf("  %s\n", obshttp.WatchLine(s))
+		fmt.Printf("  ndft.solve.requests=%d iterations=%d  tof.alias.refits=%d  hop.hops=%d\n",
+			s.Counters["ndft.solve.requests"], s.Counters["ndft.solve.iterations"],
+			s.Counters["tof.alias.refits"], s.Counters["hop.hops"])
+	}
 }

@@ -1,0 +1,112 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"chronos/internal/obs"
+)
+
+// captureCampaign runs TrackLatency under a fresh obs state and returns
+// the resulting counter totals and per-histogram counts.
+func captureCampaign(t *testing.T, workers int) (map[string]int64, map[string]int64) {
+	t.Helper()
+	obs.Reset()
+	obs.SetEnabled(true)
+	r := TrackLatency(Options{Seed: 5, Trials: 2, Workers: workers})
+	if len(r.Rows) == 0 {
+		t.Fatal("campaign produced no rows")
+	}
+	s := obs.Capture()
+	counts := make(map[string]int64, len(s.Hists))
+	for name, h := range s.Hists {
+		counts[name] = h.Count
+	}
+	return s.Counters, counts
+}
+
+// TestObsCountersWorkerInvariant is the campaign-level golden guard:
+// counters count scheduling-independent events, so a campaign at
+// Workers=1 and Workers=8 must accumulate identical totals — and every
+// histogram must record the same number of observations (contents of
+// the wall-clock histograms legitimately differ).
+func TestObsCountersWorkerInvariant(t *testing.T) {
+	defer func() { obs.SetEnabled(false); obs.Reset() }()
+	c1, h1 := captureCampaign(t, 1)
+	c8, h8 := captureCampaign(t, 8)
+	if !reflect.DeepEqual(c1, c8) {
+		t.Errorf("counter totals differ across worker counts:\nworkers=1: %v\nworkers=8: %v", c1, c8)
+	}
+	if !reflect.DeepEqual(h1, h8) {
+		t.Errorf("histogram counts differ across worker counts:\nworkers=1: %v\nworkers=8: %v", h1, h8)
+	}
+	if c1["track.fixes"] == 0 || c1["ndft.solve.requests"] == 0 {
+		t.Errorf("campaign recorded no pipeline activity: %v", c1)
+	}
+}
+
+// TestWriteJSONEmbedsSnapshot pins the additive schema: without obs the
+// output is the historical result array; with obs enabled the last
+// element gains an "obs" object and every pre-existing field survives
+// unchanged.
+func TestWriteJSONEmbedsSnapshot(t *testing.T) {
+	results := []*Result{{
+		ID:     "fake",
+		Title:  "fake campaign",
+		Header: []string{"a"},
+		Rows:   [][]string{{"1"}},
+	}}
+
+	obs.SetEnabled(false)
+	var plain bytes.Buffer
+	if err := WriteJSON(&plain, results); err != nil {
+		t.Fatal(err)
+	}
+
+	obs.Reset()
+	obs.SetEnabled(true)
+	defer func() { obs.SetEnabled(false); obs.Reset() }()
+	var withObs bytes.Buffer
+	if err := WriteJSON(&withObs, results); err != nil {
+		t.Fatal(err)
+	}
+
+	var plainArr, obsArr []map[string]json.RawMessage
+	if err := json.Unmarshal(plain.Bytes(), &plainArr); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(withObs.Bytes(), &obsArr); err != nil {
+		t.Fatal(err)
+	}
+	if len(plainArr) != 1 || len(obsArr) != 1 {
+		t.Fatalf("want 1 element, got %d and %d", len(plainArr), len(obsArr))
+	}
+	if _, ok := plainArr[0]["obs"]; ok {
+		t.Error("obs key present with the layer disabled")
+	}
+	if _, ok := obsArr[0]["obs"]; !ok {
+		t.Error("obs key missing with the layer enabled")
+	}
+	// Every historical field is byte-identical; "obs" is the only
+	// addition.
+	for k, v := range plainArr[0] {
+		if string(obsArr[0][k]) != string(v) {
+			t.Errorf("field %q changed: %s -> %s", k, v, obsArr[0][k])
+		}
+	}
+	if len(obsArr[0]) != len(plainArr[0])+1 {
+		t.Errorf("schema gained %d keys, want exactly 1 (obs)", len(obsArr[0])-len(plainArr[0]))
+	}
+
+	var decoded []struct {
+		Obs *obs.Snapshot `json:"obs"`
+	}
+	if err := json.Unmarshal(withObs.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded[0].Obs == nil || decoded[0].Obs.Counters == nil {
+		t.Error("embedded obs object did not decode as a snapshot")
+	}
+}

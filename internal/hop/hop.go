@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"chronos/internal/mac"
+	"chronos/internal/obs"
 	"chronos/internal/wifi"
 )
 
@@ -159,11 +160,14 @@ func (h *Hopper) hop(retries, failsafes int, st *hopState, done func(retries, fa
 			st.revert = nil
 			h.FailSafes++
 			h.RevertTime += revert
+			obsFailSafes.Inc()
+			obsRevertNs.Add(int64(revert))
 			h.hop(0, failsafes+1, st, done)
 		})
 		return
 	}
 	h.Announces++
+	obsAnnounces.Inc()
 	// Announce → receiver; receiver ACKs → transmitter.
 	h.Link.Send(mac.Frame{Kind: "announce", Payload: 28}, func(mac.Frame) {
 		h.Link.Send(mac.Frame{Kind: "ack", Payload: 14}, func(mac.Frame) {
@@ -172,6 +176,8 @@ func (h *Hopper) hop(retries, failsafes int, st *hopState, done func(retries, fa
 			}
 			st.acked = true
 			st.revert.Cancel()
+			obsHops.Inc()
+			obsRetries.Add(int64(retries))
 			// Both sides retune; the slower radio gates band entry.
 			h.Sim.Schedule(h.SwitchDelay(), func() { done(retries, failsafes) })
 		})
@@ -218,6 +224,13 @@ func Sweep(rng *rand.Rand, bands []wifi.Band, cfg Config) SweepResult {
 	res.Announces = h.Announces
 	res.FailSafes = h.FailSafes
 	res.RevertTime = h.RevertTime
+	if obs.Enabled() {
+		for i := range res.Visits {
+			v := &res.Visits[i]
+			obsDwellNs.Observe(float64(v.Leave - v.Enter))
+		}
+		obsSweepNs.Observe(float64(res.Duration))
+	}
 	return res
 }
 

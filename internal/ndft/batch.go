@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"chronos/internal/dsp"
+	"chronos/internal/obs"
 )
 
 // SolveRequest is one inversion request against a Plan: the measurement
@@ -74,6 +75,14 @@ type solveTask struct {
 	gapStopped     bool
 	restricted     bool
 	phase          int
+
+	// Telemetry latches: everGap records that any main/cold phase ended
+	// on the gap certificate (gapStopped itself is consumed by
+	// startPolish), fellBack that the KKT audit forced the cold
+	// fallback. Read once per batch by recordBatch; cleared by the
+	// full-struct resets in init and the post-batch zeroing.
+	everGap  bool
+	fellBack bool
 
 	// Current iterate-phase state (one beginIterate per phase).
 	set          []int
@@ -168,6 +177,7 @@ func (pl *Plan) SolveBatch(reqs []SolveRequest) error {
 	if len(reqs) == 0 {
 		return nil
 	}
+	wallStart := obs.Tick()
 	n, m := pl.n, pl.m
 	for i := range reqs {
 		if len(reqs[i].H) != n {
@@ -248,6 +258,9 @@ func (pl *Plan) SolveBatch(reqs []SolveRequest) error {
 		}
 	}
 
+	if obs.Enabled() {
+		recordBatch(bs.tasks, wallStart)
+	}
 	for i := range bs.tasks {
 		bs.tasks[i] = solveTask{} // drop caller slices before pooling
 	}
@@ -495,6 +508,7 @@ func (t *solveTask) endTick() {
 				// A gap stop inside the polish is its exit, not a
 				// trigger for another polish.
 				t.gapStopped = true
+				t.everGap = true
 			}
 			t.afterIterate(t.iter)
 			return
@@ -679,6 +693,7 @@ func (t *solveTask) finish() {
 			// The optimum left the working set (the target moved farther
 			// than warmDilate cells between solves): discard the
 			// restricted answer and run the cold full-grid solve.
+			t.fellBack = true
 			zero(w.pRe)
 			zero(w.pIm)
 			copy(w.yRe, w.pRe)

@@ -1,0 +1,76 @@
+package ndft
+
+import (
+	"testing"
+	"time"
+
+	"chronos/internal/obs"
+)
+
+// BenchmarkObsOverheadWarmStart is the committed overhead guard for the
+// observability layer: it times the BenchmarkPlanSolveWarmStart hot
+// path with metrics disabled and enabled in interleaved min-of-reps
+// legs and FAILS if the enabled path costs more than 1% extra, or if it
+// allocates. The legs use a fixed internal repetition count, so the
+// assertion fires even under the CI bench-smoke's -benchtime=1x.
+func BenchmarkObsOverheadWarmStart(b *testing.B) {
+	pl, h, seed := benchPlan(b)
+	dst := &Result{}
+	solve := func() {
+		if _, err := pl.Solve(SolveRequest{H: h, Warm: seed, Dst: dst, InvertOptions: InvertOptions{MaxIter: 4000}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	obs.Reset()
+	defer func() { obs.SetEnabled(false); obs.Reset() }()
+
+	// With obs on, the hot path must stay allocation-free.
+	obs.SetEnabled(true)
+	if n := testing.AllocsPerRun(10, solve); n != 0 {
+		b.Fatalf("instrumented warm solve allocates %v allocs/op, want 0", n)
+	}
+
+	// Interleaved min-of-reps: alternating legs cancel drift (thermal,
+	// scheduler), and the minimum is the right estimator for "what does
+	// the code cost" under one-sided noise.
+	const legs, solvesPerLeg = 8, 25
+	minLeg := func(on bool) time.Duration {
+		obs.SetEnabled(on)
+		best := time.Duration(1<<63 - 1)
+		for l := 0; l < legs; l++ {
+			start := time.Now()
+			for i := 0; i < solvesPerLeg; i++ {
+				solve()
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	// Warm both paths once before timing.
+	minLeg(false)
+	minLeg(true)
+
+	var off, on time.Duration
+	for r := 0; r < 2; r++ {
+		off += minLeg(false)
+		on += minLeg(true)
+	}
+	ratio := float64(on) / float64(off)
+	b.ReportMetric(ratio, "enabled/disabled")
+	if ratio > 1.01 {
+		b.Fatalf("obs overhead %.2f%% exceeds the 1%% budget (disabled %v, enabled %v per leg)",
+			(ratio-1)*100, off, on)
+	}
+
+	// Keep the benchmark honest as a benchmark too: report the
+	// instrumented per-op cost for the b.N protocol.
+	obs.SetEnabled(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solve()
+	}
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"chronos/internal/stats"
+)
+
+// quantileTolerance is the suite's contract: a histogram quantile must
+// land within one bucket width of the exact order statistic. The
+// relevant bucket is the one holding the exact percentile; with
+// histSub=8 sub-buckets per octave its width is at most 12.5% of the
+// value.
+func quantileTolerance(exact float64) float64 {
+	lo, hi := bucketBounds(bucketOf(exact))
+	if math.IsInf(hi, 1) {
+		return lo // overflow bucket: degenerate, callers avoid it
+	}
+	return hi - lo
+}
+
+// checkQuantiles fills a fresh histogram with xs and compares p50, p95,
+// and p99 against stats.Percentile.
+func checkQuantiles(t *testing.T, name string, h *Hist, xs []float64) {
+	t.Helper()
+	Reset()
+	for _, x := range xs {
+		h.Observe(x)
+	}
+	for _, p := range []float64{50, 95, 99} {
+		exact := stats.Percentile(xs, p)
+		got := h.Quantile(p / 100)
+		if tol := quantileTolerance(exact); math.Abs(got-exact) > tol {
+			t.Errorf("%s: p%.0f = %v, exact %v (tolerance %v)", name, p, got, exact, tol)
+		}
+	}
+}
+
+// TestQuantilesWithinOneBucketWidth cross-validates the log-bucketed
+// quantiles against the exact stats.Percentile on the adversarial
+// shapes the satellite calls out: bimodal, heavy-tail, and
+// single-sample, plus a dense uniform baseline.
+func TestQuantilesWithinOneBucketWidth(t *testing.T) {
+	h := NewHist("test.quant.hist")
+	SetEnabled(true)
+	defer func() { SetEnabled(false); Reset() }()
+	rng := rand.New(rand.NewSource(11))
+
+	// Bimodal: a 60/40 split four orders of magnitude apart, each mode
+	// jittered. The 60% low mode holds p50; p95/p99 live in the high
+	// mode — the split is chosen so no tested percentile interpolates
+	// across the inter-mode gap, where no estimator bounded by local
+	// bucket width can follow the linear interpolation.
+	bimodal := make([]float64, 0, 1000)
+	for i := 0; i < 600; i++ {
+		bimodal = append(bimodal, 100*(1+0.2*rng.Float64()))
+	}
+	for i := 0; i < 400; i++ {
+		bimodal = append(bimodal, 1e6*(1+0.2*rng.Float64()))
+	}
+	checkQuantiles(t, "bimodal", h, bimodal)
+
+	// Heavy tail: Pareto with α=1.5 (infinite variance). 10k samples
+	// keep ~100 observations beyond p99, so neighboring order
+	// statistics there are still far closer than a bucket width.
+	heavy := make([]float64, 10000)
+	for i := range heavy {
+		heavy[i] = math.Pow(1-rng.Float64(), -1/1.5)
+	}
+	checkQuantiles(t, "heavy-tail", h, heavy)
+
+	// Single sample: every quantile is the one observation.
+	checkQuantiles(t, "single-sample", h, []float64{137.5})
+
+	// Dense uniform baseline.
+	uniform := make([]float64, 5000)
+	for i := range uniform {
+		uniform[i] = 1 + 99*rng.Float64()
+	}
+	checkQuantiles(t, "uniform", h, uniform)
+}
+
+func TestHistEdgeValues(t *testing.T) {
+	h := NewHist("test.edge.hist")
+	withObs(t, func() {
+		h.Observe(0)
+		h.Observe(-5)
+		h.Observe(math.NaN())
+		h.Observe(math.Ldexp(1, -100)) // below the smallest octave
+		h.Observe(math.Ldexp(1, 100))  // above the largest octave
+		if got := h.Count(); got != 5 {
+			t.Fatalf("count = %d, want 5 (every value lands in some bucket)", got)
+		}
+		s := h.snapshot()
+		var total int64
+		for _, b := range s.Buckets {
+			total += b.Count
+		}
+		if total != 5 {
+			t.Fatalf("bucket sum = %d, want 5", total)
+		}
+	})
+}
+
+// TestHistConcurrentMergedCount hammers one histogram from 16
+// goroutines and checks the deterministic merge invariants: the total
+// count equals the sum of per-goroutine contributions AND the sum of
+// the bucket counts (the count is the bucket increments, so no
+// interleaving can break it), the value sum is exact (integer-valued
+// observations), and the extremes are the true extremes. Run under
+// -race in CI's race-short lane.
+func TestHistConcurrentMergedCount(t *testing.T) {
+	h := NewHist("test.race.hist")
+	withObs(t, func() {
+		const goroutines = 16
+		const perG = 10000
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(g)))
+				for i := 0; i < perG; i++ {
+					// Integer-valued observations ≤ 2^20 keep the sharded
+					// float sum exact under any addition order.
+					h.Observe(float64(1 + rng.Intn(1<<20)))
+				}
+			}(g)
+		}
+		wg.Wait()
+
+		const want = goroutines * perG
+		if got := h.Count(); got != want {
+			t.Fatalf("merged count = %d, want %d", got, want)
+		}
+		s := h.snapshot()
+		var total int64
+		for _, b := range s.Buckets {
+			total += b.Count
+		}
+		if total != want {
+			t.Fatalf("bucket counts sum to %d, want %d", total, want)
+		}
+
+		// Recompute the exact expectation sequentially.
+		var sum, min, max float64
+		min = math.Inf(1)
+		for g := 0; g < goroutines; g++ {
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				v := float64(1 + rng.Intn(1<<20))
+				sum += v
+				min = math.Min(min, v)
+				max = math.Max(max, v)
+			}
+		}
+		if got := h.Sum(); got != sum {
+			t.Fatalf("merged sum = %v, want %v", got, sum)
+		}
+		if s.Min != min || s.Max != max {
+			t.Fatalf("extremes = [%v, %v], want [%v, %v]", s.Min, s.Max, min, max)
+		}
+	})
+}
+
+func TestBucketGeometry(t *testing.T) {
+	// Every positive finite value maps to a bucket whose bounds contain
+	// it, and consecutive buckets tile without gaps.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		v := math.Ldexp(1+rng.Float64(), rng.Intn(120)-60)
+		b := bucketOf(v)
+		lo, hi := bucketBounds(b)
+		if v < lo || v >= hi {
+			t.Fatalf("value %v in bucket %d with bounds [%v, %v)", v, b, lo, hi)
+		}
+	}
+	for i := 1; i < histBuckets-2; i++ {
+		_, hi := bucketBounds(i)
+		lo, _ := bucketBounds(i + 1)
+		if hi != lo {
+			t.Fatalf("gap between buckets %d and %d: %v != %v", i, i+1, hi, lo)
+		}
+	}
+}

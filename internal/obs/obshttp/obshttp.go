@@ -1,0 +1,87 @@
+// Package obshttp serves the observability layer over HTTP: a JSON
+// /metrics snapshot plus the standard net/http/pprof profiles. It lives
+// in its own package so the zero-dependency obs core never links
+// net/http; only binaries that pass -metrics pay for the server.
+package obshttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"chronos/internal/obs"
+)
+
+// Handler returns the management mux:
+//
+//	/metrics      — indented JSON obs.Snapshot (counters, gauges, hists)
+//	/debug/pprof  — the standard runtime profiles
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(obs.Capture())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve enables metric recording, binds addr (":0" picks a free port),
+// and serves Handler in a background goroutine. It returns the bound
+// address so callers can print or poll it. The server lives for the
+// process; management endpoints on short-lived CLI runs don't need a
+// graceful-shutdown dance.
+func Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obshttp: listen %s: %w", addr, err)
+	}
+	obs.SetEnabled(true)
+	srv := &http.Server{Handler: Handler()}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// WatchLine formats one live status line from a snapshot — the
+// tracking-pipeline headline the cmd binaries' -watch mode prints:
+// fix count and rate, cap rate, p50/p99 fix latency (virtual ms), and
+// p99 solve-stage wall latency (ms).
+func WatchLine(s *obs.Snapshot) string {
+	fix := s.Hists["track.fix_latency_ns"]
+	solve := s.Hists["tof.stage.solve_ns"]
+	return fmt.Sprintf(
+		"fixes=%d rate=%.2f/s cap=%.3f fix_p50=%.1fms fix_p99=%.1fms solve_p99=%.2fms",
+		s.Counters["track.fixes"],
+		s.Gauges["track.fix_rate_hz"],
+		s.Gauges["track.cap_rate"],
+		fix.P50/1e6, fix.P99/1e6, solve.P99/1e6,
+	)
+}
+
+// Watch polls the in-process snapshot every interval and calls emit
+// with a WatchLine until stop is closed. It runs in the caller's
+// goroutine; start it with go Watch(...).
+func Watch(interval time.Duration, stop <-chan struct{}, emit func(string)) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			emit(WatchLine(obs.Capture()))
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package obshttp
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"chronos/internal/obs"
+)
+
+var testCounter = obs.NewCounter("obshttp.test.counter")
+
+func TestMetricsEndpointServesSnapshot(t *testing.T) {
+	obs.Reset()
+	obs.SetEnabled(true)
+	defer func() { obs.SetEnabled(false); obs.Reset() }()
+	testCounter.Add(42)
+
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q, want application/json", ct)
+	}
+	var s obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatalf("decode /metrics: %v", err)
+	}
+	if s.Counters["obshttp.test.counter"] != 42 {
+		t.Fatalf("snapshot counter = %d, want 42", s.Counters["obshttp.test.counter"])
+	}
+
+	// pprof rides along on the same mux.
+	pp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/: %s", pp.Status)
+	}
+}
+
+func TestServeBindsAndEnables(t *testing.T) {
+	obs.Reset()
+	defer func() { obs.SetEnabled(false); obs.Reset() }()
+	addr, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !obs.Enabled() {
+		t.Fatal("Serve did not enable recording")
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics on %s: %s", addr, resp.Status)
+	}
+}
+
+func TestWatchLineFormat(t *testing.T) {
+	obs.Reset()
+	obs.SetEnabled(true)
+	defer func() { obs.SetEnabled(false); obs.Reset() }()
+	line := WatchLine(obs.Capture())
+	for _, field := range []string{"fixes=", "rate=", "cap=", "fix_p99=", "solve_p99="} {
+		if !strings.Contains(line, field) {
+			t.Fatalf("watch line %q missing %q", line, field)
+		}
+	}
+}

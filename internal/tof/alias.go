@@ -108,6 +108,7 @@ func (e *Estimator) newWindowRefit(freqs []float64, h dsp.Vec, power int, s *Swe
 // additionally scores the refit by the w-weighted residual (see
 // aliasWeights); otherwise the weighted score equals the plain one.
 func (wr *windowRefit) solve(cand, alpha, eps float64, w []float64, forceCold bool) (refitScore, int64, error) {
+	obsAliasRefits.Inc()
 	rotateWindow(wr.freqs, wr.h, cand, float64(wr.power), wr.rot)
 	g := wr.s.windowWarmState(wr.key, cand)
 	// Without a usable noise estimate (or above the gap ceiling) the
@@ -591,6 +592,9 @@ func (e *Estimator) placeCandidate(scorer *aliasScorer, cand float64) float64 {
 		// A ±1-period flip is rare and decisive: confirm it with cold
 		// refits so warm-seeded streams place exactly as cold ones.
 		best = decide(true)
+	}
+	if best != cand {
+		obsAliasFlips.Inc()
 	}
 	return best
 }

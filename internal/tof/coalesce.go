@@ -109,6 +109,7 @@ func (c *Coalescer) Submit(plan *ndft.Plan, req ndft.SolveRequest) (*ndft.Result
 		res, err := plan.Solve(req)
 		return res, 1, err
 	}
+	obsCoalesceSubmits.Inc()
 
 	c.mu.Lock()
 	if c.inflight > 0 {
@@ -126,6 +127,7 @@ func (c *Coalescer) Submit(plan *ndft.Plan, req ndft.SolveRequest) (*ndft.Result
 			close(b.full)
 		}
 		c.mu.Unlock()
+		obsCoalesceFollowers.Inc()
 		<-b.done
 		c.exit()
 		if b.err != nil {
@@ -143,6 +145,7 @@ func (c *Coalescer) Submit(plan *ndft.Plan, req ndft.SolveRequest) (*ndft.Result
 	hold := c.cfg.IdleAfter < 0 || time.Since(c.lastOverlap) <= c.cfg.IdleAfter
 	if !hold {
 		c.mu.Unlock()
+		obsCoalesceBypass.Inc()
 		res, err := plan.Solve(req)
 		c.exit()
 		return res, 1, err
@@ -150,6 +153,7 @@ func (c *Coalescer) Submit(plan *ndft.Plan, req ndft.SolveRequest) (*ndft.Result
 
 	// Leader: open a batch, hold the door for Wait (or until full), then
 	// flush whatever gathered.
+	obsCoalesceHolds.Inc()
 	b := &formingBatch{full: make(chan struct{}), done: make(chan struct{})}
 	b.reqs = append(b.reqs, req)
 	c.forming[plan] = b
@@ -170,6 +174,7 @@ func (c *Coalescer) Submit(plan *ndft.Plan, req ndft.SolveRequest) (*ndft.Result
 	// No follower can reach b anymore: joins happen under mu, and the
 	// map entry is gone. reqs is now stable.
 	b.err = plan.SolveBatch(b.reqs)
+	obsCoalesceWidth.Observe(float64(len(b.reqs)))
 	close(b.done)
 	c.exit()
 	if b.err != nil {

@@ -8,6 +8,7 @@ import (
 	"chronos/internal/csi"
 	"chronos/internal/dsp"
 	"chronos/internal/ndft"
+	"chronos/internal/obs"
 	"chronos/internal/wifi"
 )
 
@@ -551,6 +552,7 @@ func (e *Estimator) estimate(s *Sweep) (*Estimate, error) {
 		return nil, ErrNoBands
 	}
 	s.estSeq++
+	obsEstimates.Inc()
 
 	// Group by channel power: each group gets its own inversion because
 	// the delay supports differ (h̃ᵖ has delays that are sums of p path
@@ -593,6 +595,7 @@ func (e *Estimator) estimate(s *Sweep) (*Estimate, error) {
 		if noiseRel > noiseRelMax {
 			noiseRelMax = noiseRel
 		}
+		obsNoiseRel.Observe(noiseRel)
 		// Above the gap ceiling the noise-equivalence class of solutions
 		// is too wide to anchor alias decisions (a fade can flip the
 		// folded-mass anchor by a whole period between two equally
@@ -603,7 +606,9 @@ func (e *Estimator) estimate(s *Sweep) (*Estimate, error) {
 		if noiseRel > gapNoiseCeil {
 			gapFloor = 0
 		}
+		solveStart := obs.Tick()
 		prof, sol, err := e.invertGroup(freqs, h, power, s, gapFloor)
+		obsStageSolveNs.Since(solveStart)
 		totalWork += sol.Work
 		if err != nil {
 			return nil, err
@@ -616,6 +621,7 @@ func (e *Estimator) estimate(s *Sweep) (*Estimate, error) {
 		if sol.BatchSize > batchMax {
 			batchMax = sol.BatchSize
 		}
+		aliasStart := obs.Tick()
 		var tau float64
 		ok := false
 		if e.cfg.Ranking == RankFamilies && e.cfg.AliasPeriod > 0 {
@@ -647,6 +653,7 @@ func (e *Estimator) estimate(s *Sweep) (*Estimate, error) {
 				}
 			}
 		}
+		obsStageAliasNs.Since(aliasStart)
 		if !ok {
 			continue
 		}

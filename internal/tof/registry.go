@@ -96,6 +96,7 @@ var sharedPlans = newPlanRegistry(0)
 
 // planFor returns the plan for key, building it via build on first use.
 func (r *planRegistry) planFor(key planKey, build func() (*ndft.Plan, error)) (*ndft.Plan, error) {
+	obsRegistryLookups.Inc()
 	r.mu.RLock()
 	e := r.entries[key]
 	r.mu.RUnlock()

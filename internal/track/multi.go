@@ -131,6 +131,7 @@ func RunMulti(rng *rand.Rand, cfg MultiConfig) *MultiResult {
 		truth := anchor.Dist(pos)
 		meas := cfg.Sensor.Range(rng, anchor, pos)
 		smoothed, accepted := trackers[d].Observe(fe.At, meas)
+		recordFix(int64(fe.Latency), accepted, true)
 		out.Devices[d].Fixes = append(out.Devices[d].Fixes, Fix{
 			Device: d, At: fe.At, Latency: fe.Latency,
 			Range: meas, Smoothed: smoothed, TrueRange: truth, Accepted: accepted,
@@ -235,6 +236,7 @@ func runMultiSolver(rng *rand.Rand, cfg MultiConfig, sched *Schedule, trackers [
 				meas := r.Distance - offset*wifi.SpeedOfLight
 				truth := anchor.Dist(pos)
 				smoothed, accepted := trackers[d].Observe(fe.At, meas)
+				recordFix(int64(fe.Latency), accepted, r.Converged)
 				out.Devices[d].Fixes = append(out.Devices[d].Fixes, Fix{
 					Device: d, At: fe.At, Latency: fe.Latency, Bands: len(bands),
 					Range: meas, Smoothed: smoothed, TrueRange: truth, Accepted: accepted,

@@ -10,6 +10,7 @@ import (
 	"chronos/internal/geo"
 	"chronos/internal/hop"
 	"chronos/internal/mac"
+	"chronos/internal/obs"
 	"chronos/internal/sim"
 	"chronos/internal/tof"
 	"chronos/internal/wifi"
@@ -178,6 +179,7 @@ func RunSession(rng *rand.Rand, office *sim.Office, est *tof.Estimator, cfg Sess
 	for sweep := 0; sweep < cfg.Sweeps; sweep++ {
 		acc.Reset()
 		start := msim.Now()
+		sweepTick := obs.Tick()
 		checkpoint := 0
 		for bi, b := range bands {
 			// The channel follows the target band by band: motion during
@@ -205,6 +207,7 @@ func RunSession(rng *rand.Rand, office *sim.Office, est *tof.Estimator, cfg Sess
 						Range: raw, Smoothed: raw,
 						TrueRange: anchor.Dist(targetAt(msim.Now())), Early: true,
 					})
+					obsEarlyFixes.Inc()
 				}
 				checkpoint++
 			}
@@ -214,11 +217,15 @@ func RunSession(rng *rand.Rand, office *sim.Office, est *tof.Estimator, cfg Sess
 			}
 		}
 
+		obsStageSweepNs.Since(sweepTick)
 		if r, err := acc.Estimate(); err == nil {
 			raw := r.Distance - offset*wifi.SpeedOfLight
 			now := msim.Now()
 			truth := anchor.Dist(targetAt(now))
+			kalmanTick := obs.Tick()
 			smoothed, accepted := tracker.Observe(now, raw)
+			obsStageKalmanNs.Since(kalmanTick)
+			recordFix(int64(now-start), accepted, r.Converged)
 			res.Fixes = append(res.Fixes, Fix{
 				At: now, Latency: now - start, Bands: acc.Bands(),
 				Range: raw, Smoothed: smoothed, TrueRange: truth, Accepted: accepted,
