@@ -111,11 +111,19 @@ func NewSolverPlan(freqs, taus []float64) (*SolverPlan, error) { return ndft.New
 // step — the profile domain a plan inverts onto.
 func SolverTauGrid(maxTau, step float64) []float64 { return ndft.TauGrid(maxTau, step) }
 
-// HasVectorKernel reports whether batched solves run the vectorized
-// multi-lane gradient kernel on this machine. Batching is always
-// byte-identical to sequential solving; without the kernel it simply
-// yields a smaller throughput gain.
-func HasVectorKernel() bool { return ndft.HasVectorKernel() }
+// VectorKernel reports the SIMD kernel tier the solver resolved for
+// this machine: "avx512", "avx2", "neon", or "scalar". Every tier is
+// byte-identical to scalar solving — the tiers differ only in
+// throughput.
+func VectorKernel() string { return ndft.VectorKernel() }
+
+// HasVectorKernel reports whether solves run a vectorized kernel tier
+// on this machine. Batching is always byte-identical to sequential
+// solving; without a vector kernel it simply yields a smaller
+// throughput gain.
+//
+// Deprecated: use VectorKernel, which names the resolved tier.
+func HasVectorKernel() bool { return VectorKernel() != "scalar" }
 
 // SolveCoalescer batches concurrent solve requests that target the same
 // plan into one SolveBatch call (bounded wait, falls through to B=1).

@@ -64,6 +64,11 @@ type Result struct {
 	Header  []string           `json:"header"`
 	Rows    [][]string         `json:"rows"`
 	Metrics map[string]float64 `json:"metrics"` // headline numbers, keyed for EXPERIMENTS.md
+	// Labels carries non-numeric campaign facts (the active SIMD kernel
+	// tier, for one) so snapshot consumers — the CI throughput gate keys
+	// its per-tier speedup floor on labels["vector_kernel"] — never have
+	// to decode strings from float metrics.
+	Labels map[string]string `json:"labels,omitempty"`
 	// CapRate, when set, is the fraction of the campaign's profile
 	// solves that hit their iteration cap instead of converging
 	// (tof.Estimate.Converged == false). Iteration-capped solves used to

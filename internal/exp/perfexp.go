@@ -81,6 +81,7 @@ func PerfSolver(o Options) *Result {
 		Header: []string{"scenario", "iters (cold)", "iters (warm)", "µs/solve (cold)", "µs/solve (warm)"},
 	}
 	res.Metrics = map[string]float64{}
+	res.Labels = map[string]string{"vector_kernel": ndft.VectorKernel()}
 	const sweepDt = 0.084 // seconds per full band sweep (Fig. 9a median)
 	solves, capped := 0, 0
 	for _, sc := range scenarios {

@@ -113,28 +113,23 @@ type batchState struct {
 	// free at any B.
 	wss []*workspace
 	// Lane-kernel staging: the group's residuals in lane-major layout
-	// (resT[i*laneWidth+b]), the per-group lane-major −h̃ the residual
-	// accumulation starts from (rebuilt only when a group's membership
-	// changes), the per-row coefficient lanes, and the per-lane dot
-	// outputs.
+	// (resT[i*lw+b] for the active tier's lane width lw = batchLanes),
+	// the per-group lane-major −h̃ the residual accumulation starts from
+	// (rebuilt only when a group's membership changes), the per-row
+	// coefficient lanes, and the per-lane dot outputs. The fixed arrays
+	// are sized for the widest tier (maxLanes); only the first
+	// batchLanes entries are live.
 	resTRe, resTIm []float64
 	hTRe, hTIm     []float64
-	groups         [][laneWidth]*solveTask
-	cr, ci         [laneWidth]float64
-	gr, gi         [laneWidth]float64
+	groups         [][maxLanes]*solveTask
+	cr, ci         [maxLanes]float64
+	gr, gi         [maxLanes]float64
 	// Cache-blocked full-grid walk: per-row accumulator chains carried
-	// across element tiles (4×laneWidth doubles per row) and the
-	// folded per-row lane dots (gr then gi lanes, 2×laneWidth per row).
+	// across element tiles (8×batchLanes doubles per row) and the
+	// folded per-row lane dots (gr then gi lanes, 2×batchLanes per
+	// row).
 	state, gT []float64
 }
-
-// HasVectorKernel reports whether batched solves run the vectorized
-// multi-lane gradient kernel on this machine (AVX-512 with full OS
-// state support). When false, SolveBatch still works and still returns
-// byte-identical results — it just runs the scalar kernel, so the
-// aggregate-throughput gain over sequential solving is modest. Bench
-// gates use this to decide whether to assert the batched speedup.
-func HasVectorKernel() bool { return useDotLanes }
 
 // Solve runs Algorithm 1 on one request — the B=1 thin wrapper over
 // SolveBatch, sharing its entire implementation. req.Warm, when non-nil,
@@ -207,7 +202,7 @@ func (pl *Plan) SolveBatch(reqs []SolveRequest) error {
 	for i := range bs.groups {
 		// Task pointers recycle across calls: stale membership snapshots
 		// must not pass the lane groups' change detection.
-		bs.groups[i] = [laneWidth]*solveTask{}
+		bs.groups[i] = [maxLanes]*solveTask{}
 	}
 	for len(bs.wss) < len(reqs) {
 		bs.wss = append(bs.wss, pl.getWorkspace())
@@ -577,7 +572,7 @@ func (t *solveTask) gapCheck() (bool, float64) {
 	}
 	var maxSq float64
 	for _, j := range set {
-		gr, gi := cdot(pl.fhRe[j*n:(j+1)*n], pl.fhIm[j*n:(j+1)*n], w.residRe, w.resIm)
+		gr, gi := adjDot(pl.fhRe[j*n:(j+1)*n], pl.fhIm[j*n:(j+1)*n], w.residRe, w.resIm)
 		if sq := gr*gr + gi*gi; sq > maxSq {
 			maxSq = sq
 		}
@@ -754,7 +749,7 @@ func (pl *Plan) corrPass(tasks []solveTask) {
 			if !t.needCorr {
 				continue
 			}
-			cr, ci := cdot(aRe, aIm, t.w.hRe, t.w.hIm)
+			cr, ci := adjDot(aRe, aIm, t.w.hRe, t.w.hIm)
 			if sq := cr*cr + ci*ci; sq > t.corrMaxSq {
 				t.corrMaxSq = sq
 			}
@@ -764,7 +759,8 @@ func (pl *Plan) corrPass(tasks []solveTask) {
 
 // gradPass is the batch's shared gradient step: for every task,
 // p ← SPARSIFY(src − γ·(Fᴴ·resid), γα), fused per grid cell. Tasks are
-// partitioned into lane groups of laneWidth; within a group the pass
+// partitioned into lane groups of the active tier's width (batchLanes);
+// within a group the pass
 // walks the union of the members' next rows in ascending order (the
 // working sets are ascending), so each dictionary row is streamed once
 // per round for the whole group — the cache-blocked matrix–matrix
@@ -777,18 +773,20 @@ func (pl *Plan) gradPass(tasks []*solveTask, bs *batchState) {
 		pl.gradTask(tasks[0])
 		return
 	}
-	if useDotLanes && pl.fullLockstep(tasks) {
+	vector := activeTier != tierScalar
+	if vector && pl.fullLockstep(tasks) {
 		pl.gradFullLanes(tasks, bs)
 		return
 	}
-	for g := 0; g < len(tasks); g += laneWidth {
-		end := g + laneWidth
+	lw := batchLanes
+	for g := 0; g < len(tasks); g += lw {
+		end := g + lw
 		if end > len(tasks) {
 			end = len(tasks)
 		}
 		group := tasks[g:end]
-		if useDotLanes && len(group) > 1 {
-			pl.gradGroupLanes(group, g/laneWidth, bs)
+		if vector && len(group) > 1 {
+			pl.gradGroupLanes(group, g/lw, bs)
 		} else if len(group) == 1 {
 			pl.gradTask(group[0])
 		} else {
@@ -815,16 +813,17 @@ func (pl *Plan) fullLockstep(tasks []*solveTask) bool {
 // lane-transposed) measurements — rebuilt only when the group's
 // membership changes — and then walks the ascending union of the
 // members' source supports, each dictionary column streamed once while
-// axpy8avx512 scatters coef·column into exactly the lanes whose task
-// carries it. Merge-masked stores leave the other lanes untouched, and
-// the ascending walk visits every task's support in its own (ascending)
-// order, so each lane's accumulation chain is the scalar
+// the tier's axpy kernel scatters coef·column into exactly the lanes
+// whose task carries it. Masked stores leave the other lanes untouched,
+// and the ascending walk visits every task's support in its own
+// (ascending) order, so each lane's accumulation chain is the scalar
 // forwardResid's, bit for bit.
 func (pl *Plan) laneStage(tasks []*solveTask, gi int, bs *batchState, resTRe, resTIm []float64) {
 	n, m := pl.n, pl.m
-	stride := n * laneWidth
+	lw := batchLanes
+	stride := n * lw
 	for len(bs.groups) <= gi {
-		bs.groups = append(bs.groups, [laneWidth]*solveTask{})
+		bs.groups = append(bs.groups, [maxLanes]*solveTask{})
 	}
 	if len(bs.hTRe) < (gi+1)*stride {
 		hTRe := make([]float64, (gi+1)*stride)
@@ -837,7 +836,7 @@ func (pl *Plan) laneStage(tasks []*solveTask, gi int, bs *batchState, resTRe, re
 	hTIm := bs.hTIm[gi*stride : (gi+1)*stride]
 	mem := &bs.groups[gi]
 	changed := false
-	for b := 0; b < laneWidth; b++ {
+	for b := 0; b < lw; b++ {
 		var tb *solveTask
 		if b < len(tasks) {
 			tb = tasks[b]
@@ -849,17 +848,17 @@ func (pl *Plan) laneStage(tasks []*solveTask, gi int, bs *batchState, resTRe, re
 	if changed {
 		// Membership shifts only when a task finishes; in steady state
 		// the per-tick residual start is a straight copy.
-		for b := 0; b < laneWidth; b++ {
+		for b := 0; b < lw; b++ {
 			if b < len(tasks) {
 				w := tasks[b].w
 				for i := 0; i < n; i++ {
-					hTRe[i*laneWidth+b] = -w.hRe[i]
-					hTIm[i*laneWidth+b] = -w.hIm[i]
+					hTRe[i*lw+b] = -w.hRe[i]
+					hTIm[i*lw+b] = -w.hIm[i]
 				}
 			} else {
 				for i := 0; i < n; i++ {
-					hTRe[i*laneWidth+b] = 0
-					hTIm[i*laneWidth+b] = 0
+					hTRe[i*lw+b] = 0
+					hTIm[i*lw+b] = 0
 				}
 			}
 		}
@@ -867,7 +866,7 @@ func (pl *Plan) laneStage(tasks []*solveTask, gi int, bs *batchState, resTRe, re
 	copy(resTRe, hTRe)
 	copy(resTIm, hTIm)
 
-	var pos [laneWidth]int
+	var pos [maxLanes]int
 	for {
 		j := m
 		for b, t := range tasks {
@@ -886,7 +885,7 @@ func (pl *Plan) laneStage(tasks []*solveTask, gi int, bs *batchState, resTRe, re
 				bs.cr[b], bs.ci[b] = t.srcRe[j], t.srcIm[j]
 			}
 		}
-		axpy8avx512(&pl.fhRe[j*n], &pl.fhIm[j*n], &bs.cr[0], &bs.ci[0], &resTRe[0], &resTIm[0], n, mask)
+		kernAxpy(&pl.fhRe[j*n], &pl.fhIm[j*n], &bs.cr[0], &bs.ci[0], &resTRe[0], &resTIm[0], n, mask)
 	}
 }
 
@@ -896,42 +895,43 @@ func (pl *Plan) laneStage(tasks []*solveTask, gi int, bs *batchState, resTRe, re
 // residuals, the B right-hand sides striding the SIMD lanes of every
 // group — so each dictionary row slice is loaded once per tick for ALL
 // groups, not once per group. Each row's accumulator chains are carried
-// across tiles in exact reference order (dotChunk8avx512), keeping every
-// task's dot bit-identical to the scalar path.
+// across tiles in exact reference order (the tier's chunked dot
+// kernel), keeping every task's dot bit-identical to the scalar path.
 func (pl *Plan) gradFullLanes(tasks []*solveTask, bs *batchState) {
 	n, m := pl.n, pl.m
 	gamma := pl.gamma
-	stride := n * laneWidth
-	ng := (len(tasks) + laneWidth - 1) / laneWidth
+	lw := batchLanes
+	stride := n * lw
+	ng := (len(tasks) + lw - 1) / lw
 	if cap(bs.resTRe) < ng*stride {
 		bs.resTRe = make([]float64, ng*stride)
 		bs.resTIm = make([]float64, ng*stride)
 	}
 	resTRe, resTIm := bs.resTRe[:ng*stride], bs.resTIm[:ng*stride]
 	for g := 0; g < ng; g++ {
-		end := (g + 1) * laneWidth
+		end := (g + 1) * lw
 		if end > len(tasks) {
 			end = len(tasks)
 		}
-		pl.laneStage(tasks[g*laneWidth:end], g, bs,
+		pl.laneStage(tasks[g*lw:end], g, bs,
 			resTRe[g*stride:(g+1)*stride], resTIm[g*stride:(g+1)*stride])
 	}
 
-	if cap(bs.state) < ng*m*4*laneWidth {
-		bs.state = make([]float64, ng*m*4*laneWidth)
+	if cap(bs.state) < ng*m*8*lw {
+		bs.state = make([]float64, ng*m*8*lw)
 	}
-	if cap(bs.gT) < ng*m*2*laneWidth {
-		bs.gT = make([]float64, ng*m*2*laneWidth)
+	if cap(bs.gT) < ng*m*2*lw {
+		bs.gT = make([]float64, ng*m*2*lw)
 	}
 	state, gT := bs.state, bs.gT
 	// All groups' residual tiles must share L1 with the row slice and
 	// the accumulator stream, so the element tile shrinks as groups are
-	// added (kept even to preserve chain parity).
+	// added (kept a multiple of 4 to preserve chain phase).
 	tile := dotTile / ng
 	if tile < 32 {
 		tile = 32
 	}
-	tile &^= 1
+	tile &^= 3
 	for i0 := 0; i0 < n; i0 += tile {
 		tl := tile
 		if n-i0 < tl {
@@ -949,22 +949,22 @@ func (pl *Plan) gradFullLanes(tasks []*solveTask, bs *batchState) {
 				// State and output interleave the groups by row
 				// ((j·ng+g)-major) so the accumulator traffic is one
 				// sequential stream however many groups run.
-				dotChunk8avx512(&pl.fhRe[j*n+i0], &pl.fhIm[j*n+i0],
-					&resTRe[g*stride+i0*laneWidth], &resTIm[g*stride+i0*laneWidth], tl,
-					&state[(j*ng+g)*4*laneWidth], &gT[(j*ng+g)*2*laneWidth], mode, n*8)
+				kernDotChunk(&pl.fhRe[j*n+i0], &pl.fhIm[j*n+i0],
+					&resTRe[g*stride+i0*lw], &resTIm[g*stride+i0*lw], tl,
+					&state[(j*ng+g)*8*lw], &gT[(j*ng+g)*2*lw], mode, n*8)
 			}
 		}
 	}
 
 	for i, t := range tasks {
-		g, b := i/laneWidth, i%laneWidth
+		g, b := i/lw, i%lw
 		w := t.w
 		thr := t.thr
 		thrSq := thr * thr
 		srcRe, srcIm := t.srcRe, t.srcIm
 		for j := 0; j < m; j++ {
-			pr := srcRe[j] - gamma*gT[(j*ng+g)*2*laneWidth+b]
-			pi := srcIm[j] - gamma*gT[(j*ng+g)*2*laneWidth+laneWidth+b]
+			pr := srcRe[j] - gamma*gT[(j*ng+g)*2*lw+b]
+			pi := srcIm[j] - gamma*gT[(j*ng+g)*2*lw+lw+b]
 			if sq := pr*pr + pi*pi; sq <= thrSq { // "<=" also zeroes sq==thrSq==0, avoiding 0/0 below
 				w.pRe[j], w.pIm[j] = 0, 0
 			} else {
@@ -981,15 +981,15 @@ func (pl *Plan) gradFullLanes(tasks []*solveTask, bs *batchState) {
 // vectorized kernels, one solver task per SIMD lane: laneStage
 // accumulates the members' forward residuals in a lane-major buffer,
 // then the adjoint pass walks the ascending union of the members'
-// working sets, each dictionary row streamed once while dot8avx512
-// computes every member's dot in its own lane with the reference scalar
-// chain arithmetic (bit-identical per task). Lanes whose task does not
-// need the row compute a discarded dot — cheaper than masking. The
-// soft-threshold shrink stays scalar per task.
+// working sets, each dictionary row streamed once while the tier's dot
+// kernel computes every member's dot in its own lane with the reference
+// scalar chain arithmetic (bit-identical per task). Lanes whose task
+// does not need the row compute a discarded dot — cheaper than masking.
+// The soft-threshold shrink stays scalar per task.
 func (pl *Plan) gradGroupLanes(tasks []*solveTask, gi int, bs *batchState) {
 	n, m := pl.n, pl.m
 	gamma := pl.gamma
-	stride := n * laneWidth
+	stride := n * batchLanes
 	if cap(bs.resTRe) < stride {
 		bs.resTRe = make([]float64, stride)
 		bs.resTIm = make([]float64, stride)
@@ -1009,7 +1009,7 @@ func (pl *Plan) gradGroupLanes(tasks []*solveTask, gi int, bs *batchState) {
 		if j == m {
 			return
 		}
-		dot8avx512(&pl.fhRe[j*n], &pl.fhIm[j*n], &resTRe[0], &resTIm[0], n, &bs.gr[0], &bs.gi[0])
+		kernDot(&pl.fhRe[j*n], &pl.fhIm[j*n], &resTRe[0], &resTIm[0], n, &bs.gr[0], &bs.gi[0])
 		for b, t := range tasks {
 			if t.cur >= len(t.set) || t.set[t.cur] != j {
 				continue
@@ -1033,13 +1033,12 @@ func (pl *Plan) gradGroupLanes(tasks []*solveTask, gi int, bs *batchState) {
 
 // gradTask is the single-task gradient step — the scalar reference
 // path, byte-for-byte the arithmetic every other gradPass path must
-// reproduce. The adjoint dot product is a deliberate manual inline of
-// cdot's two-way-unrolled sibling: the gradient pass makes m short
-// (length-n) dots per iteration, and the per-call overhead of an
-// out-of-line kernel is measurable there (Go does not inline cdot).
+// reproduce. The adjoint dot product goes through adjDot, the one
+// tier-dispatched implementation of the fixed-K chain contract (cdot on
+// the scalar tier, the lane kernel otherwise — same bits either way).
 // The shrinkage test compares squared magnitudes so the (dominant)
 // zeroed taps never pay for a square root. Keep this body, the scalar
-// group body, and the vector kernel in sync.
+// group body, and the vector kernels in sync.
 func (pl *Plan) gradTask(t *solveTask) {
 	n := pl.n
 	gamma := pl.gamma
@@ -1054,22 +1053,7 @@ func (pl *Plan) gradTask(t *solveTask) {
 		thrSq := thr * thr
 		rRe, rIm := w.residRe[:n], w.resIm[:n]
 		for _, j := range t.set {
-			aRe, aIm := pl.fhRe[j*n:(j+1)*n], pl.fhIm[j*n:(j+1)*n]
-			var gr0, gi0, gr1, gi1 float64
-			i := 0
-			for ; i+2 <= n; i += 2 {
-				ar0, ai0, br0, bi0 := aRe[i], aIm[i], rRe[i], rIm[i]
-				gr0 += ar0*br0 - ai0*bi0
-				gi0 += ar0*bi0 + ai0*br0
-				ar1, ai1, br1, bi1 := aRe[i+1], aIm[i+1], rRe[i+1], rIm[i+1]
-				gr1 += ar1*br1 - ai1*bi1
-				gi1 += ar1*bi1 + ai1*br1
-			}
-			if i < n {
-				gr0 += aRe[i]*rRe[i] - aIm[i]*rIm[i]
-				gi0 += aRe[i]*rIm[i] + aIm[i]*rRe[i]
-			}
-			gr, gi := gr0+gr1, gi0+gi1
+			gr, gi := adjDot(pl.fhRe[j*n:(j+1)*n], pl.fhIm[j*n:(j+1)*n], rRe, rIm)
 			pr := srcRe[j] - gamma*gr
 			pi := srcIm[j] - gamma*gi
 			if sq := pr*pr + pi*pi; sq <= thrSq { // "<=" also zeroes sq==thrSq==0, avoiding 0/0 below
@@ -1085,7 +1069,7 @@ func (pl *Plan) gradTask(t *solveTask) {
 
 // gradGroupScalar is the scalar fallback for a lane group when the
 // vector kernel is unavailable: the same row-union walk as the lane
-// path and the same per-task inline dot as gradTask, so results are
+// path and the same adjDot per task as gradTask, so results are
 // identical on every architecture.
 func (pl *Plan) gradGroupScalar(tasks []*solveTask) {
 	n, m := pl.n, pl.m
@@ -1115,22 +1099,7 @@ func (pl *Plan) gradGroupScalar(tasks []*solveTask) {
 			w := t.w
 			thr := t.thr
 			thrSq := thr * thr
-			rRe, rIm := w.residRe[:n], w.resIm[:n]
-			var gr0, gi0, gr1, gi1 float64
-			i := 0
-			for ; i+2 <= n; i += 2 {
-				ar0, ai0, br0, bi0 := aRe[i], aIm[i], rRe[i], rIm[i]
-				gr0 += ar0*br0 - ai0*bi0
-				gi0 += ar0*bi0 + ai0*br0
-				ar1, ai1, br1, bi1 := aRe[i+1], aIm[i+1], rRe[i+1], rIm[i+1]
-				gr1 += ar1*br1 - ai1*bi1
-				gi1 += ar1*bi1 + ai1*br1
-			}
-			if i < n {
-				gr0 += aRe[i]*rRe[i] - aIm[i]*rIm[i]
-				gi0 += aRe[i]*rIm[i] + aIm[i]*rRe[i]
-			}
-			gr, gi := gr0+gr1, gi0+gi1
+			gr, gi := adjDot(aRe, aIm, w.residRe[:n], w.resIm[:n])
 			pr := srcRe[j] - gamma*gr
 			pi := srcIm[j] - gamma*gi
 			if sq := pr*pr + pi*pi; sq <= thrSq { // "<=" also zeroes sq==thrSq==0, avoiding 0/0 below

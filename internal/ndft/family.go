@@ -124,7 +124,7 @@ func (pl *Plan) MaxCorrelation(h dsp.Vec) float64 {
 	split(hRe, hIm, h)
 	var maxSq float64
 	for j := 0; j < pl.m; j++ {
-		cr, ci := cdot(pl.fhRe[j*n:(j+1)*n], pl.fhIm[j*n:(j+1)*n], hRe, hIm)
+		cr, ci := adjDot(pl.fhRe[j*n:(j+1)*n], pl.fhIm[j*n:(j+1)*n], hRe, hIm)
 		if sq := cr*cr + ci*ci; sq > maxSq {
 			maxSq = sq
 		}

@@ -1,29 +1,19 @@
-package ndft
+//go:build amd64 && !ndft_noasm
 
-// laneWidth is the batch-lane width of the vectorized gradient kernel:
-// eight float64 lanes per AVX-512 zmm register, one solver task per
-// lane. Tasks beyond a multiple of eight form a partial (or scalar)
-// group; lane assignment never affects results, only throughput.
-const laneWidth = 8
+package ndft
 
 // dot8avx512 computes, for eight independent lanes b, the planar complex
 // dot product of the shared adjoint row against lane b's transposed
 // residual (resT[i*8+b]), writing gr/gi per lane. Each lane performs the
-// reference scalar chain arithmetic exactly (see lanes_amd64.s), which
-// is what keeps batched solves byte-identical to sequential ones.
+// reference scalar chain arithmetic exactly (the fixed-K cdot contract;
+// see lanes_amd64.s), which is what keeps batched solves byte-identical
+// to sequential ones.
 //
 //go:noescape
 func dot8avx512(rowRe, rowIm, resTRe, resTIm *float64, n int, grOut, giOut *float64)
 
-// dotTile is the element-tile width of the cache-blocked gradient walk:
-// 128 elements × 8 lanes × 8 bytes = 8 KiB per planar component, so one
-// tile of the lane-major residual stays L1-resident while every
-// dictionary row streams across it. Must be even to preserve the
-// accumulator-chain parity of the reference scalar dot.
-const dotTile = 128
-
 // dotChunk8avx512 advances one row's eight lane dots across one element
-// tile, carrying the four accumulator chains in state (4×8 doubles per
+// tile, carrying the eight accumulator chains in state (8×8 doubles per
 // row). mode bit 0 zeroes the chains (first tile), bit 1 folds them and
 // writes out (gr lanes, then gi lanes — 16 doubles). stride is the
 // dictionary row pitch in bytes, used to prefetch the next row's slice.
@@ -41,32 +31,97 @@ func dotChunk8avx512(rowRe, rowIm, resTRe, resTIm *float64, k int, state, out *f
 //go:noescape
 func axpy8avx512(rowRe, rowIm, coefRe, coefIm, resTRe, resTIm *float64, n int, mask uint64)
 
+// The 4-lane AVX2 ports of the three batch kernels (ymm registers, no
+// opmask — axpy4avx2 emulates the merge-masked store with VMASKMOVPD
+// against an expanded lane mask), plus the single-solve kernels shared
+// by both amd64 vector tiers: dotVec4 runs the four cdot accumulator
+// chains across ymm lanes and axpyCol4 the elementwise column
+// accumulation. See lanes_avx2_amd64.s.
+//
+//go:noescape
+func dot4avx2(rowRe, rowIm, resTRe, resTIm *float64, n int, grOut, giOut *float64)
+
+//go:noescape
+func dotChunk4avx2(rowRe, rowIm, resTRe, resTIm *float64, k int, state, out *float64, mode uint64, stride int)
+
+//go:noescape
+func axpy4avx2(rowRe, rowIm, coefRe, coefIm, resTRe, resTIm *float64, n int, mask *uint64)
+
+//go:noescape
+func dotVec4(aRe, aIm, xRe, xIm *float64, k4 int, part *float64)
+
+//go:noescape
+func axpyCol4(rowRe, rowIm *float64, cr, ci float64, dstRe, dstIm *float64, n4 int)
+
 func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
 func xgetbv0() (eax, edx uint32)
 
-// useDotLanes reports whether the vectorized batch kernel may run:
-// AVX-512F present and the OS saves the full zmm + opmask state. When
-// false, batched solves fall back to the scalar kernel — identical
-// results, per-session throughput.
-var useDotLanes = detectAVX512()
-
-func detectAVX512() bool {
+// detectTier resolves the best amd64 kernel tier the CPU and OS
+// support: AVX-512F with full zmm+opmask state, else AVX2 with ymm
+// state, else the scalar contract path.
+func detectTier() kernelTier {
 	maxID, _, _, _ := cpuidex(0, 0)
 	if maxID < 7 {
-		return false
+		return tierScalar
 	}
 	_, _, c1, _ := cpuidex(1, 0)
 	const osxsave = 1 << 27
 	if c1&osxsave == 0 {
-		return false
+		return tierScalar
 	}
+	lo, _ := xgetbv0()
+	_, b7, _, _ := cpuidex(7, 0)
 	// XCR0: SSE+AVX state (bits 1-2) and opmask/zmm state (bits 5-7)
 	// must all be OS-enabled before zmm registers are usable.
-	lo, _ := xgetbv0()
-	if lo&0xe6 != 0xe6 {
-		return false
-	}
-	_, b7, _, _ := cpuidex(7, 0)
 	const avx512f = 1 << 16
-	return b7&avx512f != 0
+	if lo&0xe6 == 0xe6 && b7&avx512f != 0 {
+		return tierAVX512
+	}
+	// AVX2 needs only the SSE+AVX state bits and the leaf-7 AVX2 flag.
+	const avx2 = 1 << 5
+	if lo&0x6 == 0x6 && b7&avx2 != 0 {
+		return tierAVX2
+	}
+	return tierScalar
+}
+
+// kernDot / kernDotChunk / kernAxpy dispatch one batch-kernel call to
+// the active tier's implementation. The lane count (batchLanes) and the
+// lane-major layouts the callers stage are already tier-sized; both
+// implementations honor the same fixed-K chain contract, so the tier
+// changes throughput only. Never called on the scalar tier.
+func kernDot(rowRe, rowIm, resTRe, resTIm *float64, n int, grOut, giOut *float64) {
+	if activeTier == tierAVX512 {
+		dot8avx512(rowRe, rowIm, resTRe, resTIm, n, grOut, giOut)
+	} else {
+		dot4avx2(rowRe, rowIm, resTRe, resTIm, n, grOut, giOut)
+	}
+}
+
+func kernDotChunk(rowRe, rowIm, resTRe, resTIm *float64, k int, state, out *float64, mode uint64, stride int) {
+	if activeTier == tierAVX512 {
+		dotChunk8avx512(rowRe, rowIm, resTRe, resTIm, k, state, out, mode, stride)
+	} else {
+		dotChunk4avx2(rowRe, rowIm, resTRe, resTIm, k, state, out, mode, stride)
+	}
+}
+
+func kernAxpy(rowRe, rowIm, coefRe, coefIm, resTRe, resTIm *float64, n int, mask uint64) {
+	if activeTier == tierAVX512 {
+		axpy8avx512(rowRe, rowIm, coefRe, coefIm, resTRe, resTIm, n, mask)
+	} else {
+		axpy4avx2(rowRe, rowIm, coefRe, coefIm, resTRe, resTIm, n, &axpyMask[mask&15][0])
+	}
+}
+
+// kernAdjDot / kernAxpyCol are the single-solve kernels: the ymm forms
+// serve both amd64 vector tiers (the adjoint chains are four wide by
+// contract, so zmm registers would buy nothing). Never called on the
+// scalar tier.
+func kernAdjDot(aRe, aIm, xRe, xIm *float64, k4 int, part *float64) {
+	dotVec4(aRe, aIm, xRe, xIm, k4, part)
+}
+
+func kernAxpyCol(rowRe, rowIm *float64, cr, ci float64, dstRe, dstIm *float64, n4 int) {
+	axpyCol4(rowRe, rowIm, cr, ci, dstRe, dstIm, n4)
 }

@@ -1,10 +1,14 @@
-// AVX-512 batch-lane kernel for the gradient pass: eight solver tasks
+//go:build !ndft_noasm
+
+// AVX-512 batch-lane kernels for the gradient pass: eight solver tasks
 // occupy the eight zmm lanes, and every lane executes the EXACT scalar
-// operation sequence of the reference dot in gradPass/cdot's inline body
-// (two-way unroll, four accumulator chains, separate multiply and
-// add/subtract instructions — no FMA, which would change rounding).
-// Lane-wise vector arithmetic is bit-identical to scalar arithmetic, so
-// batched results match sequential solves byte for byte; see batch.go.
+// operation sequence of the fixed-K adjoint-dot contract (cdot in
+// plan.go): four accumulator chains, element i feeding chain i mod 4,
+// the tail feeding chain 0, the fold pinned as (s0+s1)+(s2+s3) —
+// separate multiply and add/subtract instructions, no FMA, which would
+// change rounding. Lane-wise vector arithmetic is bit-identical to
+// scalar arithmetic, so batched results match sequential solves byte
+// for byte; see batch.go and kernels.go.
 
 #include "textflag.h"
 
@@ -12,7 +16,7 @@
 //
 // rowRe/rowIm: one planar adjoint row (n doubles each), shared by lanes.
 // resTRe/resTIm: lane-transposed residuals, resT[i*8+b] = lane b element i.
-// grOut/giOut: 8 doubles each, lane dot products (gr0+gr1, gi0+gi1).
+// grOut/giOut: 8 doubles each, the folded lane dot products.
 TEXT ·dot8avx512(SB), NOSPLIT, $0-56
 	MOVQ rowRe+0(FP), SI
 	MOVQ rowIm+8(FP), DI
@@ -20,82 +24,123 @@ TEXT ·dot8avx512(SB), NOSPLIT, $0-56
 	MOVQ resTIm+24(FP), R9
 	MOVQ n+32(FP), CX
 
-	// Z0..Z3 = gr0, gi0, gr1, gi1 accumulator chains (per lane).
+	// Z0..Z3 = gr0..gr3, Z4..Z7 = gi0..gi3 chains (per lane).
 	VPXORQ Z0, Z0, Z0
 	VPXORQ Z1, Z1, Z1
 	VPXORQ Z2, Z2, Z2
 	VPXORQ Z3, Z3, Z3
+	VPXORQ Z4, Z4, Z4
+	VPXORQ Z5, Z5, Z5
+	VPXORQ Z6, Z6, Z6
+	VPXORQ Z7, Z7, Z7
 
 	XORQ AX, AX // i
 
-loop2:
+loop4:
 	MOVQ CX, DX
 	SUBQ AX, DX
-	CMPQ DX, $2
+	CMPQ DX, $4
 	JLT  tail
 
 	MOVQ AX, BX
 	SHLQ $6, BX // i*8 lanes*8 bytes
 
-	// Element i -> chains 0: gr0 += ar0*br0 - ai0*bi0; gi0 += ar0*bi0 + ai0*br0
-	VBROADCASTSD (SI)(AX*8), Z4  // ar0
-	VBROADCASTSD (DI)(AX*8), Z5  // ai0
-	VMOVUPD      (R8)(BX*1), Z6  // br0 lanes
-	VMOVUPD      (R9)(BX*1), Z7  // bi0 lanes
-	VMULPD       Z6, Z4, Z8      // ar0*br0
-	VMULPD       Z7, Z5, Z9      // ai0*bi0
-	VSUBPD       Z9, Z8, Z8      // ar0*br0 - ai0*bi0
-	VADDPD       Z8, Z0, Z0
-	VMULPD       Z7, Z4, Z8      // ar0*bi0
-	VMULPD       Z6, Z5, Z9      // ai0*br0
-	VADDPD       Z9, Z8, Z8      // ar0*bi0 + ai0*br0
-	VADDPD       Z8, Z1, Z1
+	// Element i -> chain 0: gr0 += ar*br - ai*bi; gi0 += ar*bi + ai*br
+	VBROADCASTSD (SI)(AX*8), Z8   // ar
+	VBROADCASTSD (DI)(AX*8), Z9   // ai
+	VMOVUPD      (R8)(BX*1), Z10  // br lanes
+	VMOVUPD      (R9)(BX*1), Z11  // bi lanes
+	VMULPD       Z10, Z8, Z12     // ar*br
+	VMULPD       Z11, Z9, Z13     // ai*bi
+	VSUBPD       Z13, Z12, Z12    // ar*br - ai*bi
+	VADDPD       Z12, Z0, Z0
+	VMULPD       Z11, Z8, Z12     // ar*bi
+	VMULPD       Z10, Z9, Z13     // ai*br
+	VADDPD       Z13, Z12, Z12    // ar*bi + ai*br
+	VADDPD       Z12, Z4, Z4
 
-	// Element i+1 -> chains 1.
-	VBROADCASTSD 8(SI)(AX*8), Z4
-	VBROADCASTSD 8(DI)(AX*8), Z5
-	VMOVUPD      64(R8)(BX*1), Z6
-	VMOVUPD      64(R9)(BX*1), Z7
-	VMULPD       Z6, Z4, Z8
-	VMULPD       Z7, Z5, Z9
-	VSUBPD       Z9, Z8, Z8
-	VADDPD       Z8, Z2, Z2
-	VMULPD       Z7, Z4, Z8
-	VMULPD       Z6, Z5, Z9
-	VADDPD       Z9, Z8, Z8
-	VADDPD       Z8, Z3, Z3
+	// Element i+1 -> chain 1.
+	VBROADCASTSD 8(SI)(AX*8), Z8
+	VBROADCASTSD 8(DI)(AX*8), Z9
+	VMOVUPD      64(R8)(BX*1), Z10
+	VMOVUPD      64(R9)(BX*1), Z11
+	VMULPD       Z10, Z8, Z12
+	VMULPD       Z11, Z9, Z13
+	VSUBPD       Z13, Z12, Z12
+	VADDPD       Z12, Z1, Z1
+	VMULPD       Z11, Z8, Z12
+	VMULPD       Z10, Z9, Z13
+	VADDPD       Z13, Z12, Z12
+	VADDPD       Z12, Z5, Z5
 
-	ADDQ $2, AX
-	JMP  loop2
+	// Element i+2 -> chain 2.
+	VBROADCASTSD 16(SI)(AX*8), Z8
+	VBROADCASTSD 16(DI)(AX*8), Z9
+	VMOVUPD      128(R8)(BX*1), Z10
+	VMOVUPD      128(R9)(BX*1), Z11
+	VMULPD       Z10, Z8, Z12
+	VMULPD       Z11, Z9, Z13
+	VSUBPD       Z13, Z12, Z12
+	VADDPD       Z12, Z2, Z2
+	VMULPD       Z11, Z8, Z12
+	VMULPD       Z10, Z9, Z13
+	VADDPD       Z13, Z12, Z12
+	VADDPD       Z12, Z6, Z6
+
+	// Element i+3 -> chain 3.
+	VBROADCASTSD 24(SI)(AX*8), Z8
+	VBROADCASTSD 24(DI)(AX*8), Z9
+	VMOVUPD      192(R8)(BX*1), Z10
+	VMOVUPD      192(R9)(BX*1), Z11
+	VMULPD       Z10, Z8, Z12
+	VMULPD       Z11, Z9, Z13
+	VSUBPD       Z13, Z12, Z12
+	VADDPD       Z12, Z3, Z3
+	VMULPD       Z11, Z8, Z12
+	VMULPD       Z10, Z9, Z13
+	VADDPD       Z13, Z12, Z12
+	VADDPD       Z12, Z7, Z7
+
+	ADDQ $4, AX
+	JMP  loop4
 
 tail:
+	// Remaining k mod 4 elements feed chain 0 sequentially (the cdot
+	// tail loop).
 	CMPQ AX, CX
 	JGE  done
 
 	MOVQ AX, BX
 	SHLQ $6, BX
-	VBROADCASTSD (SI)(AX*8), Z4
-	VBROADCASTSD (DI)(AX*8), Z5
-	VMOVUPD      (R8)(BX*1), Z6
-	VMOVUPD      (R9)(BX*1), Z7
-	VMULPD       Z6, Z4, Z8
-	VMULPD       Z7, Z5, Z9
-	VSUBPD       Z9, Z8, Z8
-	VADDPD       Z8, Z0, Z0
-	VMULPD       Z7, Z4, Z8
-	VMULPD       Z6, Z5, Z9
-	VADDPD       Z9, Z8, Z8
-	VADDPD       Z8, Z1, Z1
+	VBROADCASTSD (SI)(AX*8), Z8
+	VBROADCASTSD (DI)(AX*8), Z9
+	VMOVUPD      (R8)(BX*1), Z10
+	VMOVUPD      (R9)(BX*1), Z11
+	VMULPD       Z10, Z8, Z12
+	VMULPD       Z11, Z9, Z13
+	VSUBPD       Z13, Z12, Z12
+	VADDPD       Z12, Z0, Z0
+	VMULPD       Z11, Z8, Z12
+	VMULPD       Z10, Z9, Z13
+	VADDPD       Z13, Z12, Z12
+	VADDPD       Z12, Z4, Z4
+
+	INCQ AX
+	JMP  tail
 
 done:
-	// gr = gr0 + gr1, gi = gi0 + gi1 (addition is commutative in IEEE
-	// 754, so lane order matches the scalar gr0+gr1 exactly).
+	// Pinned fold (s0+s1)+(s2+s3), lane-wise identical to the scalar
+	// fold.
+	VADDPD Z1, Z0, Z0
+	VADDPD Z3, Z2, Z2
 	VADDPD Z2, Z0, Z0
-	VADDPD Z3, Z1, Z1
+	VADDPD Z5, Z4, Z4
+	VADDPD Z7, Z6, Z6
+	VADDPD Z6, Z4, Z4
 	MOVQ   grOut+40(FP), R10
 	MOVQ   giOut+48(FP), R11
 	VMOVUPD Z0, (R10)
-	VMOVUPD Z1, (R11)
+	VMOVUPD Z4, (R11)
 	VZEROUPPER
 	RET
 
@@ -179,17 +224,17 @@ axdone:
 // func dotChunk8avx512(rowRe, rowIm, resTRe, resTIm *float64, k int, state, out *float64, mode uint64, stride int)
 //
 // One (row, element-tile) chunk of the cache-blocked batch gradient: the
-// same four accumulator chains as dot8avx512, but carried across tiles
-// in a 32-double per-row state so the lane-major residual can be walked
+// same eight accumulator chains as dot8avx512, but carried across tiles
+// in a 64-double per-row state so the lane-major residual can be walked
 // one L1-resident tile at a time for all rows. mode bit 0 starts the
 // row (zero chains), bit 1 ends it (fold chains and write the 16-double
-// gr|gi lane outputs). Chain parity is preserved because tiles start at
-// even element offsets, so the accumulation order is exactly the scalar
-// reference's. stride is the dictionary row pitch in bytes; the loop
-// prefetches the NEXT row's slice while streaming this one, since
-// consecutive rows sit a full row apart and the hardware stride
-// prefetcher loses them across page boundaries. The main loop retires
-// four elements (two chain pairs) per iteration.
+// gr|gi lane outputs). Chain phase is preserved because tiles start at
+// multiples of 4 (gradFullLanes aligns the tile size), so the
+// accumulation order is exactly the scalar reference's — including the
+// final tile's sub-4 tail into chain 0. stride is the dictionary row
+// pitch in bytes; the loop prefetches the NEXT row's slice while
+// streaming this one, since consecutive rows sit a full row apart and
+// the hardware stride prefetcher loses them across page boundaries.
 TEXT ·dotChunk8avx512(SB), NOSPLIT, $0-72
 	MOVQ rowRe+0(FP), SI
 	MOVQ rowIm+8(FP), DI
@@ -208,6 +253,10 @@ TEXT ·dotChunk8avx512(SB), NOSPLIT, $0-72
 	VPXORQ Z1, Z1, Z1
 	VPXORQ Z2, Z2, Z2
 	VPXORQ Z3, Z3, Z3
+	VPXORQ Z4, Z4, Z4
+	VPXORQ Z5, Z5, Z5
+	VPXORQ Z6, Z6, Z6
+	VPXORQ Z7, Z7, Z7
 	JMP    ckbody
 
 ckload:
@@ -215,6 +264,10 @@ ckload:
 	VMOVUPD 64(R10), Z1
 	VMOVUPD 128(R10), Z2
 	VMOVUPD 192(R10), Z3
+	VMOVUPD 256(R10), Z4
+	VMOVUPD 320(R10), Z5
+	VMOVUPD 384(R10), Z6
+	VMOVUPD 448(R10), Z7
 
 ckbody:
 	XORQ AX, AX
@@ -223,7 +276,7 @@ ckloop4:
 	MOVQ CX, BX
 	SUBQ AX, BX
 	CMPQ BX, $4
-	JLT  ckloop2
+	JLT  cktail
 
 	PREFETCHT0 (R13)(AX*8)
 	PREFETCHT0 (R14)(AX*8)
@@ -231,98 +284,60 @@ ckloop4:
 	MOVQ AX, BX
 	SHLQ $6, BX
 
-	VBROADCASTSD (SI)(AX*8), Z4
-	VBROADCASTSD (DI)(AX*8), Z5
-	VMOVUPD      (R8)(BX*1), Z6
-	VMOVUPD      (R9)(BX*1), Z7
-	VMULPD       Z6, Z4, Z8
-	VMULPD       Z7, Z5, Z9
-	VSUBPD       Z9, Z8, Z8
-	VADDPD       Z8, Z0, Z0
-	VMULPD       Z7, Z4, Z8
-	VMULPD       Z6, Z5, Z9
-	VADDPD       Z9, Z8, Z8
-	VADDPD       Z8, Z1, Z1
+	VBROADCASTSD (SI)(AX*8), Z8
+	VBROADCASTSD (DI)(AX*8), Z9
+	VMOVUPD      (R8)(BX*1), Z10
+	VMOVUPD      (R9)(BX*1), Z11
+	VMULPD       Z10, Z8, Z12
+	VMULPD       Z11, Z9, Z13
+	VSUBPD       Z13, Z12, Z12
+	VADDPD       Z12, Z0, Z0
+	VMULPD       Z11, Z8, Z12
+	VMULPD       Z10, Z9, Z13
+	VADDPD       Z13, Z12, Z12
+	VADDPD       Z12, Z4, Z4
 
-	VBROADCASTSD 8(SI)(AX*8), Z4
-	VBROADCASTSD 8(DI)(AX*8), Z5
-	VMOVUPD      64(R8)(BX*1), Z6
-	VMOVUPD      64(R9)(BX*1), Z7
-	VMULPD       Z6, Z4, Z8
-	VMULPD       Z7, Z5, Z9
-	VSUBPD       Z9, Z8, Z8
-	VADDPD       Z8, Z2, Z2
-	VMULPD       Z7, Z4, Z8
-	VMULPD       Z6, Z5, Z9
-	VADDPD       Z9, Z8, Z8
-	VADDPD       Z8, Z3, Z3
+	VBROADCASTSD 8(SI)(AX*8), Z8
+	VBROADCASTSD 8(DI)(AX*8), Z9
+	VMOVUPD      64(R8)(BX*1), Z10
+	VMOVUPD      64(R9)(BX*1), Z11
+	VMULPD       Z10, Z8, Z12
+	VMULPD       Z11, Z9, Z13
+	VSUBPD       Z13, Z12, Z12
+	VADDPD       Z12, Z1, Z1
+	VMULPD       Z11, Z8, Z12
+	VMULPD       Z10, Z9, Z13
+	VADDPD       Z13, Z12, Z12
+	VADDPD       Z12, Z5, Z5
 
-	VBROADCASTSD 16(SI)(AX*8), Z4
-	VBROADCASTSD 16(DI)(AX*8), Z5
-	VMOVUPD      128(R8)(BX*1), Z6
-	VMOVUPD      128(R9)(BX*1), Z7
-	VMULPD       Z6, Z4, Z8
-	VMULPD       Z7, Z5, Z9
-	VSUBPD       Z9, Z8, Z8
-	VADDPD       Z8, Z0, Z0
-	VMULPD       Z7, Z4, Z8
-	VMULPD       Z6, Z5, Z9
-	VADDPD       Z9, Z8, Z8
-	VADDPD       Z8, Z1, Z1
+	VBROADCASTSD 16(SI)(AX*8), Z8
+	VBROADCASTSD 16(DI)(AX*8), Z9
+	VMOVUPD      128(R8)(BX*1), Z10
+	VMOVUPD      128(R9)(BX*1), Z11
+	VMULPD       Z10, Z8, Z12
+	VMULPD       Z11, Z9, Z13
+	VSUBPD       Z13, Z12, Z12
+	VADDPD       Z12, Z2, Z2
+	VMULPD       Z11, Z8, Z12
+	VMULPD       Z10, Z9, Z13
+	VADDPD       Z13, Z12, Z12
+	VADDPD       Z12, Z6, Z6
 
-	VBROADCASTSD 24(SI)(AX*8), Z4
-	VBROADCASTSD 24(DI)(AX*8), Z5
-	VMOVUPD      192(R8)(BX*1), Z6
-	VMOVUPD      192(R9)(BX*1), Z7
-	VMULPD       Z6, Z4, Z8
-	VMULPD       Z7, Z5, Z9
-	VSUBPD       Z9, Z8, Z8
-	VADDPD       Z8, Z2, Z2
-	VMULPD       Z7, Z4, Z8
-	VMULPD       Z6, Z5, Z9
-	VADDPD       Z9, Z8, Z8
-	VADDPD       Z8, Z3, Z3
+	VBROADCASTSD 24(SI)(AX*8), Z8
+	VBROADCASTSD 24(DI)(AX*8), Z9
+	VMOVUPD      192(R8)(BX*1), Z10
+	VMOVUPD      192(R9)(BX*1), Z11
+	VMULPD       Z10, Z8, Z12
+	VMULPD       Z11, Z9, Z13
+	VSUBPD       Z13, Z12, Z12
+	VADDPD       Z12, Z3, Z3
+	VMULPD       Z11, Z8, Z12
+	VMULPD       Z10, Z9, Z13
+	VADDPD       Z13, Z12, Z12
+	VADDPD       Z12, Z7, Z7
 
 	ADDQ $4, AX
 	JMP  ckloop4
-
-ckloop2:
-	MOVQ CX, BX
-	SUBQ AX, BX
-	CMPQ BX, $2
-	JLT  cktail
-
-	MOVQ AX, BX
-	SHLQ $6, BX
-
-	VBROADCASTSD (SI)(AX*8), Z4
-	VBROADCASTSD (DI)(AX*8), Z5
-	VMOVUPD      (R8)(BX*1), Z6
-	VMOVUPD      (R9)(BX*1), Z7
-	VMULPD       Z6, Z4, Z8
-	VMULPD       Z7, Z5, Z9
-	VSUBPD       Z9, Z8, Z8
-	VADDPD       Z8, Z0, Z0
-	VMULPD       Z7, Z4, Z8
-	VMULPD       Z6, Z5, Z9
-	VADDPD       Z9, Z8, Z8
-	VADDPD       Z8, Z1, Z1
-
-	VBROADCASTSD 8(SI)(AX*8), Z4
-	VBROADCASTSD 8(DI)(AX*8), Z5
-	VMOVUPD      64(R8)(BX*1), Z6
-	VMOVUPD      64(R9)(BX*1), Z7
-	VMULPD       Z6, Z4, Z8
-	VMULPD       Z7, Z5, Z9
-	VSUBPD       Z9, Z8, Z8
-	VADDPD       Z8, Z2, Z2
-	VMULPD       Z7, Z4, Z8
-	VMULPD       Z6, Z5, Z9
-	VADDPD       Z9, Z8, Z8
-	VADDPD       Z8, Z3, Z3
-
-	ADDQ $2, AX
-	JMP  ckloop2
 
 cktail:
 	CMPQ AX, CX
@@ -330,18 +345,21 @@ cktail:
 
 	MOVQ AX, BX
 	SHLQ $6, BX
-	VBROADCASTSD (SI)(AX*8), Z4
-	VBROADCASTSD (DI)(AX*8), Z5
-	VMOVUPD      (R8)(BX*1), Z6
-	VMOVUPD      (R9)(BX*1), Z7
-	VMULPD       Z6, Z4, Z8
-	VMULPD       Z7, Z5, Z9
-	VSUBPD       Z9, Z8, Z8
-	VADDPD       Z8, Z0, Z0
-	VMULPD       Z7, Z4, Z8
-	VMULPD       Z6, Z5, Z9
-	VADDPD       Z9, Z8, Z8
-	VADDPD       Z8, Z1, Z1
+	VBROADCASTSD (SI)(AX*8), Z8
+	VBROADCASTSD (DI)(AX*8), Z9
+	VMOVUPD      (R8)(BX*1), Z10
+	VMOVUPD      (R9)(BX*1), Z11
+	VMULPD       Z10, Z8, Z12
+	VMULPD       Z11, Z9, Z13
+	VSUBPD       Z13, Z12, Z12
+	VADDPD       Z12, Z0, Z0
+	VMULPD       Z11, Z8, Z12
+	VMULPD       Z10, Z9, Z13
+	VADDPD       Z13, Z12, Z12
+	VADDPD       Z12, Z4, Z4
+
+	INCQ AX
+	JMP  cktail
 
 ckdone:
 	TESTQ $2, DX
@@ -350,14 +368,22 @@ ckdone:
 	VMOVUPD Z1, 64(R10)
 	VMOVUPD Z2, 128(R10)
 	VMOVUPD Z3, 192(R10)
+	VMOVUPD Z4, 256(R10)
+	VMOVUPD Z5, 320(R10)
+	VMOVUPD Z6, 384(R10)
+	VMOVUPD Z7, 448(R10)
 	VZEROUPPER
 	RET
 
 ckreduce:
+	VADDPD Z1, Z0, Z0
+	VADDPD Z3, Z2, Z2
 	VADDPD Z2, Z0, Z0
-	VADDPD Z3, Z1, Z1
+	VADDPD Z5, Z4, Z4
+	VADDPD Z7, Z6, Z6
+	VADDPD Z6, Z4, Z4
 	MOVQ   out+48(FP), R11
 	VMOVUPD Z0, (R11)
-	VMOVUPD Z1, 64(R11)
+	VMOVUPD Z4, 64(R11)
 	VZEROUPPER
 	RET

@@ -1,0 +1,411 @@
+//go:build !ndft_noasm
+
+// NEON 4-lane ports of the batch kernels plus the single-solve kernels.
+// A 4-lane logical vector is a pair of 2×float64 q-registers; every
+// lane performs the reference scalar accumulator-chain arithmetic
+// exactly, mirroring the AVX2 bodies instruction for instruction. The
+// Go arm64 assembler exposes only the fused vector FP forms (VFMLA /
+// VFMLS), and fusing would change rounding and break the byte-identity
+// contract — so the non-fused FMUL.2D / FADD.2D / FSUB.2D and the
+// DUP-element broadcast are emitted as WORD-encoded instructions via
+// the macros below.
+
+#include "textflag.h"
+
+// d = n * m  (FMUL Vd.2D, Vn.2D, Vm.2D)
+#define VFMUL2D(m, n, d) WORD $(0x6E60DC00 | (m)<<16 | (n)<<5 | (d))
+// d = n + m  (FADD Vd.2D, Vn.2D, Vm.2D)
+#define VFADD2D(m, n, d) WORD $(0x4E60D400 | (m)<<16 | (n)<<5 | (d))
+// d = n - m  (FSUB Vd.2D, Vn.2D, Vm.2D)
+#define VFSUB2D(m, n, d) WORD $(0x4EE0D400 | (m)<<16 | (n)<<5 | (d))
+// d.2D = broadcast n.D[0]  (DUP Vd.2D, Vn.D[0])
+#define VDUPD0(n, d) WORD $(0x4E080400 | (n)<<5 | (d))
+
+// Broadcast the next row element at Rp (post-incremented by 8) across
+// the 2D vector v (the matching scalar register Fd = Dv), via the
+// integer register Rs.
+#define BCAST(Rp, Rs, Fd, v) \
+	MOVD.P 8(Rp), Rs; \
+	FMOVD  Rs, Fd; \
+	VDUPD0(v, v)
+
+// One adjoint-dot element update for chain c: given broadcasts ar=V16,
+// ai=V17 and lane loads br=V18/V19, bi=V20/V21,
+//   gr_c += ar*br - ai*bi   (chain regs gr0/gr1)
+//   gi_c += ar*bi + ai*br   (chain regs gi0/gi1)
+// with temps V22..V25, in the exact scalar operation order:
+// t=ar*br, u=ai*bi, t=t-u, gr+=t; t=ar*bi, u=ai*br, t=t+u, gi+=t.
+#define DOTSTEP(gr0, gr1, gi0, gi1) \
+	VFMUL2D(18, 16, 22); \
+	VFMUL2D(19, 16, 23); \
+	VFMUL2D(20, 17, 24); \
+	VFMUL2D(21, 17, 25); \
+	VFSUB2D(24, 22, 22); \
+	VFSUB2D(25, 23, 23); \
+	VFADD2D(22, gr0, gr0); \
+	VFADD2D(23, gr1, gr1); \
+	VFMUL2D(20, 16, 22); \
+	VFMUL2D(21, 16, 23); \
+	VFMUL2D(18, 17, 24); \
+	VFMUL2D(19, 17, 25); \
+	VFADD2D(24, 22, 22); \
+	VFADD2D(25, 23, 23); \
+	VFADD2D(22, gi0, gi0); \
+	VFADD2D(23, gi1, gi1)
+
+// Load one element's broadcasts and lane vectors, advancing the
+// pointers: row re/im from R0/R1 (+8 each), resT re lanes into V18/V19
+// from R2 (+32), resT im lanes into V20/V21 from R3 (+32).
+#define LOADELEM \
+	BCAST(R0, R8, F16, 16); \
+	BCAST(R1, R8, F17, 17); \
+	VLD1.P 32(R2), [V18.D2, V19.D2]; \
+	VLD1.P 32(R3), [V20.D2, V21.D2]
+
+// func dot4neon(rowRe, rowIm, resTRe, resTIm *float64, n int, grOut, giOut *float64)
+//
+// Four independent lane dot products of the shared adjoint row against
+// the lane-transposed residuals (resT[i*4+b] = lane b element i), with
+// the fixed-K cdot chain contract: element i feeds chain i mod 4, the
+// k mod 4 tail feeds chain 0, fold is (s0+s1)+(s2+s3).
+TEXT ·dot4neon(SB), NOSPLIT, $0-56
+	MOVD rowRe+0(FP), R0
+	MOVD rowIm+8(FP), R1
+	MOVD resTRe+16(FP), R2
+	MOVD resTIm+24(FP), R3
+	MOVD n+32(FP), R4
+
+	// gr chains 0..3 = V0/V1, V2/V3, V4/V5, V6/V7;
+	// gi chains 0..3 = V8/V9, V10/V11, V12/V13, V14/V15.
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	VEOR V2.B16, V2.B16, V2.B16
+	VEOR V3.B16, V3.B16, V3.B16
+	VEOR V4.B16, V4.B16, V4.B16
+	VEOR V5.B16, V5.B16, V5.B16
+	VEOR V6.B16, V6.B16, V6.B16
+	VEOR V7.B16, V7.B16, V7.B16
+	VEOR V8.B16, V8.B16, V8.B16
+	VEOR V9.B16, V9.B16, V9.B16
+	VEOR V10.B16, V10.B16, V10.B16
+	VEOR V11.B16, V11.B16, V11.B16
+	VEOR V12.B16, V12.B16, V12.B16
+	VEOR V13.B16, V13.B16, V13.B16
+	VEOR V14.B16, V14.B16, V14.B16
+	VEOR V15.B16, V15.B16, V15.B16
+
+loop4:
+	CMP $4, R4
+	BLT tail
+
+	LOADELEM
+	DOTSTEP(0, 1, 8, 9)
+	LOADELEM
+	DOTSTEP(2, 3, 10, 11)
+	LOADELEM
+	DOTSTEP(4, 5, 12, 13)
+	LOADELEM
+	DOTSTEP(6, 7, 14, 15)
+
+	SUB $4, R4
+	B   loop4
+
+tail:
+	CBZ R4, done
+
+	LOADELEM
+	DOTSTEP(0, 1, 8, 9)
+
+	SUB $1, R4
+	B   tail
+
+done:
+	// Pinned fold (s0+s1)+(s2+s3), per lane half.
+	VFADD2D(2, 0, 0)
+	VFADD2D(3, 1, 1)
+	VFADD2D(6, 4, 4)
+	VFADD2D(7, 5, 5)
+	VFADD2D(4, 0, 0)
+	VFADD2D(5, 1, 1)
+	VFADD2D(10, 8, 8)
+	VFADD2D(11, 9, 9)
+	VFADD2D(14, 12, 12)
+	VFADD2D(15, 13, 13)
+	VFADD2D(12, 8, 8)
+	VFADD2D(13, 9, 9)
+	MOVD grOut+40(FP), R5
+	MOVD giOut+48(FP), R6
+	VST1 [V0.D2, V1.D2], (R5)
+	VST1 [V8.D2, V9.D2], (R6)
+	RET
+
+// func axpy4neon(rowRe, rowIm, coefRe, coefIm, resTRe, resTIm *float64, n int, mask *uint64)
+//
+// Lane-masked forward-residual accumulation. mask points at 4 qwords
+// (all-ones for active lanes, zero otherwise — kernels.go's axpyMask
+// table); the new lane values are computed in temporaries and blended
+// into the old ones with BIT under the mask before a full store, so
+// masked-out lanes keep their exact prior bits. Each active lane
+// performs the scalar forwardResid chain arithmetic (the sign-folded
+// dstRe += ar*cr + rowIm*ci form; see axpy8avx512).
+TEXT ·axpy4neon(SB), NOSPLIT, $0-64
+	MOVD rowRe+0(FP), R0
+	MOVD rowIm+8(FP), R1
+	MOVD coefRe+16(FP), R2
+	MOVD coefIm+24(FP), R3
+	MOVD resTRe+32(FP), R4
+	MOVD resTIm+40(FP), R5
+	MOVD n+48(FP), R6
+	MOVD mask+56(FP), R7
+
+	VLD1 (R7), [V26.D2, V27.D2] // lane mask
+	VLD1 (R2), [V2.D2, V3.D2]   // cr lanes
+	VLD1 (R3), [V4.D2, V5.D2]   // ci lanes
+
+axloop:
+	CBZ R6, axdone
+
+	BCAST(R0, R8, F16, 16) // ar
+	BCAST(R1, R8, F17, 17) // rowIm[i]
+
+	// dstRe += ar*cr + rowIm*ci
+	VFMUL2D(2, 16, 22)
+	VFMUL2D(3, 16, 23)
+	VFMUL2D(4, 17, 24)
+	VFMUL2D(5, 17, 25)
+	VFADD2D(24, 22, 22)
+	VFADD2D(25, 23, 23)
+	VLD1 (R4), [V18.D2, V19.D2]
+	VFADD2D(18, 22, 22)
+	VFADD2D(19, 23, 23)
+	VBIT V26.B16, V22.B16, V18.B16
+	VBIT V27.B16, V23.B16, V19.B16
+	VST1.P [V18.D2, V19.D2], 32(R4)
+
+	// dstIm += ar*ci - rowIm*cr
+	VFMUL2D(4, 16, 22)
+	VFMUL2D(5, 16, 23)
+	VFMUL2D(2, 17, 24)
+	VFMUL2D(3, 17, 25)
+	VFSUB2D(24, 22, 22)
+	VFSUB2D(25, 23, 23)
+	VLD1 (R5), [V18.D2, V19.D2]
+	VFADD2D(18, 22, 22)
+	VFADD2D(19, 23, 23)
+	VBIT V26.B16, V22.B16, V18.B16
+	VBIT V27.B16, V23.B16, V19.B16
+	VST1.P [V18.D2, V19.D2], 32(R5)
+
+	SUB $1, R6
+	B   axloop
+
+axdone:
+	RET
+
+// func dotChunk4neon(rowRe, rowIm, resTRe, resTIm *float64, k int, state, out *float64, mode uint64, stride int)
+//
+// Tiled variant of dot4neon: the same eight accumulator chains carried
+// across element tiles in a 32-double per-row state (layout internal to
+// the kernel, V0..V15 in order). mode bit 0 starts the row (zero
+// chains), bit 1 ends it (fold and write the 8-double gr|gi lane
+// outputs). Tiles start at multiples of 4, preserving chain phase.
+// stride is accepted for signature parity with the amd64 tiers; the
+// explicit prefetch is omitted here.
+TEXT ·dotChunk4neon(SB), NOSPLIT, $0-72
+	MOVD rowRe+0(FP), R0
+	MOVD rowIm+8(FP), R1
+	MOVD resTRe+16(FP), R2
+	MOVD resTIm+24(FP), R3
+	MOVD k+32(FP), R4
+	MOVD state+40(FP), R5
+	MOVD mode+56(FP), R7
+
+	TBZ $0, R7, ckload
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	VEOR V2.B16, V2.B16, V2.B16
+	VEOR V3.B16, V3.B16, V3.B16
+	VEOR V4.B16, V4.B16, V4.B16
+	VEOR V5.B16, V5.B16, V5.B16
+	VEOR V6.B16, V6.B16, V6.B16
+	VEOR V7.B16, V7.B16, V7.B16
+	VEOR V8.B16, V8.B16, V8.B16
+	VEOR V9.B16, V9.B16, V9.B16
+	VEOR V10.B16, V10.B16, V10.B16
+	VEOR V11.B16, V11.B16, V11.B16
+	VEOR V12.B16, V12.B16, V12.B16
+	VEOR V13.B16, V13.B16, V13.B16
+	VEOR V14.B16, V14.B16, V14.B16
+	VEOR V15.B16, V15.B16, V15.B16
+	B    ckbody
+
+ckload:
+	VLD1.P 64(R5), [V0.D2, V1.D2, V2.D2, V3.D2]
+	VLD1.P 64(R5), [V4.D2, V5.D2, V6.D2, V7.D2]
+	VLD1.P 64(R5), [V8.D2, V9.D2, V10.D2, V11.D2]
+	VLD1   (R5), [V12.D2, V13.D2, V14.D2, V15.D2]
+
+ckbody:
+
+ckloop4:
+	CMP $4, R4
+	BLT cktail
+
+	LOADELEM
+	DOTSTEP(0, 1, 8, 9)
+	LOADELEM
+	DOTSTEP(2, 3, 10, 11)
+	LOADELEM
+	DOTSTEP(4, 5, 12, 13)
+	LOADELEM
+	DOTSTEP(6, 7, 14, 15)
+
+	SUB $4, R4
+	B   ckloop4
+
+cktail:
+	CBZ R4, ckdone
+
+	LOADELEM
+	DOTSTEP(0, 1, 8, 9)
+
+	SUB $1, R4
+	B   cktail
+
+ckdone:
+	TBNZ $1, R7, ckreduce
+	MOVD state+40(FP), R5
+	VST1.P [V0.D2, V1.D2, V2.D2, V3.D2], 64(R5)
+	VST1.P [V4.D2, V5.D2, V6.D2, V7.D2], 64(R5)
+	VST1.P [V8.D2, V9.D2, V10.D2, V11.D2], 64(R5)
+	VST1   [V12.D2, V13.D2, V14.D2, V15.D2], (R5)
+	RET
+
+ckreduce:
+	VFADD2D(2, 0, 0)
+	VFADD2D(3, 1, 1)
+	VFADD2D(6, 4, 4)
+	VFADD2D(7, 5, 5)
+	VFADD2D(4, 0, 0)
+	VFADD2D(5, 1, 1)
+	VFADD2D(10, 8, 8)
+	VFADD2D(11, 9, 9)
+	VFADD2D(14, 12, 12)
+	VFADD2D(15, 13, 13)
+	VFADD2D(12, 8, 8)
+	VFADD2D(13, 9, 9)
+	MOVD   out+48(FP), R6
+	VST1.P [V0.D2, V1.D2], 32(R6)
+	VST1   [V8.D2, V9.D2], (R6)
+	RET
+
+// func dotVecNeon(aRe, aIm, xRe, xIm *float64, k4 int, part *float64)
+//
+// The single-solve adjoint dot's vector body: the four cdot accumulator
+// chains run across the four lanes (lane c = chain c, element 4i+c),
+// each lane performing the scalar chain arithmetic exactly. Runs the
+// k4 = k&^3 main-loop elements only; the Go wrapper (adjDot) adds the
+// tail into chain 0 and applies the pinned fold. part receives the 8
+// raw partial sums (sr0..sr3, si0..si3).
+TEXT ·dotVecNeon(SB), NOSPLIT, $0-48
+	MOVD aRe+0(FP), R0
+	MOVD aIm+8(FP), R1
+	MOVD xRe+16(FP), R2
+	MOVD xIm+24(FP), R3
+	MOVD k4+32(FP), R4
+
+	VEOR V0.B16, V0.B16, V0.B16 // sr chains 0/1
+	VEOR V1.B16, V1.B16, V1.B16 // sr chains 2/3
+	VEOR V2.B16, V2.B16, V2.B16 // si chains 0/1
+	VEOR V3.B16, V3.B16, V3.B16 // si chains 2/3
+
+vloop:
+	CMP $4, R4
+	BLT vdone
+
+	VLD1.P 32(R0), [V4.D2, V5.D2]   // ar
+	VLD1.P 32(R1), [V6.D2, V7.D2]   // ai
+	VLD1.P 32(R2), [V8.D2, V9.D2]   // br
+	VLD1.P 32(R3), [V10.D2, V11.D2] // bi
+
+	VFMUL2D(8, 4, 12)  // ar*br
+	VFMUL2D(9, 5, 13)
+	VFMUL2D(10, 6, 14) // ai*bi
+	VFMUL2D(11, 7, 15)
+	VFSUB2D(14, 12, 12) // ar*br - ai*bi
+	VFSUB2D(15, 13, 13)
+	VFADD2D(12, 0, 0)
+	VFADD2D(13, 1, 1)
+
+	VFMUL2D(10, 4, 12) // ar*bi
+	VFMUL2D(11, 5, 13)
+	VFMUL2D(8, 6, 14)  // ai*br
+	VFMUL2D(9, 7, 15)
+	VFADD2D(14, 12, 12) // ar*bi + ai*br
+	VFADD2D(15, 13, 13)
+	VFADD2D(12, 2, 2)
+	VFADD2D(13, 3, 3)
+
+	SUB $4, R4
+	B   vloop
+
+vdone:
+	MOVD part+40(FP), R5
+	VST1 [V0.D2, V1.D2, V2.D2, V3.D2], (R5)
+	RET
+
+// func axpyColNeon(rowRe, rowIm *float64, cr, ci float64, dstRe, dstIm *float64, n4 int)
+//
+// The single-solve forward column accumulation:
+// dst[i] += conj(row[i])·(cr+i·ci) elementwise, in the sign-folded form
+// of the scalar forwardResid body (dstRe += ar*cr + rowIm*ci,
+// dstIm += ar*ci - rowIm*cr — exact; see axpy8avx512). Elementwise, so
+// there are no chains to preserve; the Go wrapper (axpyCol) handles the
+// n&3 tail.
+TEXT ·axpyColNeon(SB), NOSPLIT, $0-56
+	MOVD  rowRe+0(FP), R0
+	MOVD  rowIm+8(FP), R1
+	FMOVD cr+16(FP), F2
+	VDUPD0(2, 2)
+	FMOVD ci+24(FP), F3
+	VDUPD0(3, 3)
+	MOVD  dstRe+32(FP), R4
+	MOVD  dstIm+40(FP), R5
+	MOVD  n4+48(FP), R6
+
+acloop:
+	CMP $4, R6
+	BLT acdone
+
+	VLD1.P 32(R0), [V4.D2, V5.D2] // ar
+	VLD1.P 32(R1), [V6.D2, V7.D2] // rowIm
+
+	// dstRe += ar*cr + rowIm*ci
+	VFMUL2D(2, 4, 12)
+	VFMUL2D(2, 5, 13)
+	VFMUL2D(3, 6, 14)
+	VFMUL2D(3, 7, 15)
+	VFADD2D(14, 12, 12)
+	VFADD2D(15, 13, 13)
+	VLD1 (R4), [V8.D2, V9.D2]
+	VFADD2D(8, 12, 12)
+	VFADD2D(9, 13, 13)
+	VST1.P [V12.D2, V13.D2], 32(R4)
+
+	// dstIm += ar*ci - rowIm*cr
+	VFMUL2D(3, 4, 12)
+	VFMUL2D(3, 5, 13)
+	VFMUL2D(2, 6, 14)
+	VFMUL2D(2, 7, 15)
+	VFSUB2D(14, 12, 12)
+	VFSUB2D(15, 13, 13)
+	VLD1 (R5), [V8.D2, V9.D2]
+	VFADD2D(8, 12, 12)
+	VFADD2D(9, 13, 13)
+	VST1.P [V12.D2, V13.D2], 32(R5)
+
+	SUB $4, R6
+	B   acloop
+
+acdone:
+	RET

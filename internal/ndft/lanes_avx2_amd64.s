@@ -1,0 +1,462 @@
+//go:build !ndft_noasm
+
+// AVX2 (ymm) 4-lane ports of the batch kernels, plus the single-solve
+// kernels shared by both amd64 vector tiers. The bodies mirror the
+// AVX-512 kernels instruction for instruction at half the lane width:
+// the same fixed-K adjoint-dot contract (four accumulator chains,
+// element i mod 4, tail to chain 0, pinned (s0+s1)+(s2+s3) fold),
+// separate multiply and add/subtract — no FMA, which would change
+// rounding. AVX2 has no opmask registers, so axpy4avx2 emulates the
+// AVX-512 merge-masked store with VMASKMOVPD against a 4-qword
+// all-ones/zero lane mask (masked-out lanes' memory does not move).
+
+#include "textflag.h"
+
+// func dot4avx2(rowRe, rowIm, resTRe, resTIm *float64, n int, grOut, giOut *float64)
+//
+// rowRe/rowIm: one planar adjoint row (n doubles each), shared by lanes.
+// resTRe/resTIm: lane-transposed residuals, resT[i*4+b] = lane b element i.
+// grOut/giOut: 4 doubles each, the folded lane dot products.
+TEXT ·dot4avx2(SB), NOSPLIT, $0-56
+	MOVQ rowRe+0(FP), SI
+	MOVQ rowIm+8(FP), DI
+	MOVQ resTRe+16(FP), R8
+	MOVQ resTIm+24(FP), R9
+	MOVQ n+32(FP), CX
+
+	// Y0..Y3 = gr0..gr3, Y4..Y7 = gi0..gi3 chains (per lane).
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+	XORQ AX, AX // i
+
+loop4:
+	MOVQ CX, DX
+	SUBQ AX, DX
+	CMPQ DX, $4
+	JLT  tail
+
+	MOVQ AX, BX
+	SHLQ $5, BX // i*4 lanes*8 bytes
+
+	// Element i -> chain 0: gr0 += ar*br - ai*bi; gi0 += ar*bi + ai*br
+	VBROADCASTSD (SI)(AX*8), Y8   // ar
+	VBROADCASTSD (DI)(AX*8), Y9   // ai
+	VMOVUPD      (R8)(BX*1), Y10  // br lanes
+	VMOVUPD      (R9)(BX*1), Y11  // bi lanes
+	VMULPD       Y10, Y8, Y12     // ar*br
+	VMULPD       Y11, Y9, Y13     // ai*bi
+	VSUBPD       Y13, Y12, Y12    // ar*br - ai*bi
+	VADDPD       Y12, Y0, Y0
+	VMULPD       Y11, Y8, Y12     // ar*bi
+	VMULPD       Y10, Y9, Y13     // ai*br
+	VADDPD       Y13, Y12, Y12    // ar*bi + ai*br
+	VADDPD       Y12, Y4, Y4
+
+	// Element i+1 -> chain 1.
+	VBROADCASTSD 8(SI)(AX*8), Y8
+	VBROADCASTSD 8(DI)(AX*8), Y9
+	VMOVUPD      32(R8)(BX*1), Y10
+	VMOVUPD      32(R9)(BX*1), Y11
+	VMULPD       Y10, Y8, Y12
+	VMULPD       Y11, Y9, Y13
+	VSUBPD       Y13, Y12, Y12
+	VADDPD       Y12, Y1, Y1
+	VMULPD       Y11, Y8, Y12
+	VMULPD       Y10, Y9, Y13
+	VADDPD       Y13, Y12, Y12
+	VADDPD       Y12, Y5, Y5
+
+	// Element i+2 -> chain 2.
+	VBROADCASTSD 16(SI)(AX*8), Y8
+	VBROADCASTSD 16(DI)(AX*8), Y9
+	VMOVUPD      64(R8)(BX*1), Y10
+	VMOVUPD      64(R9)(BX*1), Y11
+	VMULPD       Y10, Y8, Y12
+	VMULPD       Y11, Y9, Y13
+	VSUBPD       Y13, Y12, Y12
+	VADDPD       Y12, Y2, Y2
+	VMULPD       Y11, Y8, Y12
+	VMULPD       Y10, Y9, Y13
+	VADDPD       Y13, Y12, Y12
+	VADDPD       Y12, Y6, Y6
+
+	// Element i+3 -> chain 3.
+	VBROADCASTSD 24(SI)(AX*8), Y8
+	VBROADCASTSD 24(DI)(AX*8), Y9
+	VMOVUPD      96(R8)(BX*1), Y10
+	VMOVUPD      96(R9)(BX*1), Y11
+	VMULPD       Y10, Y8, Y12
+	VMULPD       Y11, Y9, Y13
+	VSUBPD       Y13, Y12, Y12
+	VADDPD       Y12, Y3, Y3
+	VMULPD       Y11, Y8, Y12
+	VMULPD       Y10, Y9, Y13
+	VADDPD       Y13, Y12, Y12
+	VADDPD       Y12, Y7, Y7
+
+	ADDQ $4, AX
+	JMP  loop4
+
+tail:
+	// Remaining k mod 4 elements feed chain 0 sequentially (the cdot
+	// tail loop).
+	CMPQ AX, CX
+	JGE  done
+
+	MOVQ AX, BX
+	SHLQ $5, BX
+	VBROADCASTSD (SI)(AX*8), Y8
+	VBROADCASTSD (DI)(AX*8), Y9
+	VMOVUPD      (R8)(BX*1), Y10
+	VMOVUPD      (R9)(BX*1), Y11
+	VMULPD       Y10, Y8, Y12
+	VMULPD       Y11, Y9, Y13
+	VSUBPD       Y13, Y12, Y12
+	VADDPD       Y12, Y0, Y0
+	VMULPD       Y11, Y8, Y12
+	VMULPD       Y10, Y9, Y13
+	VADDPD       Y13, Y12, Y12
+	VADDPD       Y12, Y4, Y4
+
+	INCQ AX
+	JMP  tail
+
+done:
+	// Pinned fold (s0+s1)+(s2+s3).
+	VADDPD Y1, Y0, Y0
+	VADDPD Y3, Y2, Y2
+	VADDPD Y2, Y0, Y0
+	VADDPD Y5, Y4, Y4
+	VADDPD Y7, Y6, Y6
+	VADDPD Y6, Y4, Y4
+	MOVQ   grOut+40(FP), R10
+	MOVQ   giOut+48(FP), R11
+	VMOVUPD Y0, (R10)
+	VMOVUPD Y4, (R11)
+	VZEROUPPER
+	RET
+
+// func axpy4avx2(rowRe, rowIm, coefRe, coefIm, resTRe, resTIm *float64, n int, mask *uint64)
+//
+// Lane-masked forward-residual accumulation, the AVX2 port of
+// axpy8avx512: mask points at 4 qwords (all-ones for active lanes, zero
+// for inactive — kernels.go's axpyMask table) and VMASKMOVPD stores
+// only the active lanes, so masked-out lanes' memory never moves. Each
+// active lane performs the scalar forwardResid chain arithmetic exactly
+// (the sign-folded dstRe += ar*cr + rowIm*ci form; see axpy8avx512).
+TEXT ·axpy4avx2(SB), NOSPLIT, $0-64
+	MOVQ rowRe+0(FP), SI
+	MOVQ rowIm+8(FP), DI
+	MOVQ coefRe+16(FP), AX
+	MOVQ coefIm+24(FP), BX
+	MOVQ resTRe+32(FP), R8
+	MOVQ resTIm+40(FP), R9
+	MOVQ n+48(FP), CX
+	MOVQ mask+56(FP), DX
+
+	VMOVUPD (DX), Y1 // lane mask (all-ones/zero qwords)
+	VMOVUPD (AX), Y2 // cr lanes
+	VMOVUPD (BX), Y3 // ci lanes
+
+	XORQ AX, AX // i
+	XORQ BX, BX // i*32 byte offset
+
+axloop:
+	CMPQ AX, CX
+	JGE  axdone
+
+	VBROADCASTSD (SI)(AX*8), Y4 // ar
+	VBROADCASTSD (DI)(AX*8), Y5 // rowIm[i]
+
+	// dstRe += ar*cr + rowIm*ci
+	VMULPD     Y2, Y4, Y6
+	VMULPD     Y3, Y5, Y7
+	VADDPD     Y7, Y6, Y6
+	VMOVUPD    (R8)(BX*1), Y8
+	VADDPD     Y6, Y8, Y8
+	VMASKMOVPD Y8, Y1, (R8)(BX*1)
+
+	// dstIm += ar*ci − rowIm*cr
+	VMULPD     Y3, Y4, Y6
+	VMULPD     Y2, Y5, Y7
+	VSUBPD     Y7, Y6, Y6
+	VMOVUPD    (R9)(BX*1), Y8
+	VADDPD     Y6, Y8, Y8
+	VMASKMOVPD Y8, Y1, (R9)(BX*1)
+
+	INCQ AX
+	ADDQ $32, BX
+	JMP  axloop
+
+axdone:
+	VZEROUPPER
+	RET
+
+// func dotChunk4avx2(rowRe, rowIm, resTRe, resTIm *float64, k int, state, out *float64, mode uint64, stride int)
+//
+// The AVX2 port of dotChunk8avx512: the same eight accumulator chains
+// carried across element tiles in a 32-double per-row state. mode bit 0
+// starts the row (zero chains), bit 1 ends it (fold and write the
+// 8-double gr|gi lane outputs). Tiles start at multiples of 4, so chain
+// phase matches the scalar reference exactly.
+TEXT ·dotChunk4avx2(SB), NOSPLIT, $0-72
+	MOVQ rowRe+0(FP), SI
+	MOVQ rowIm+8(FP), DI
+	MOVQ resTRe+16(FP), R8
+	MOVQ resTIm+24(FP), R9
+	MOVQ k+32(FP), CX
+	MOVQ state+40(FP), R10
+	MOVQ mode+56(FP), DX
+	MOVQ stride+64(FP), R12
+	LEAQ (SI)(R12*1), R13 // next row re (prefetch target)
+	LEAQ (DI)(R12*1), R14 // next row im
+
+	TESTQ $1, DX
+	JZ    ckload
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+	JMP    ckbody
+
+ckload:
+	VMOVUPD (R10), Y0
+	VMOVUPD 32(R10), Y1
+	VMOVUPD 64(R10), Y2
+	VMOVUPD 96(R10), Y3
+	VMOVUPD 128(R10), Y4
+	VMOVUPD 160(R10), Y5
+	VMOVUPD 192(R10), Y6
+	VMOVUPD 224(R10), Y7
+
+ckbody:
+	XORQ AX, AX
+
+ckloop4:
+	MOVQ CX, BX
+	SUBQ AX, BX
+	CMPQ BX, $4
+	JLT  cktail
+
+	PREFETCHT0 (R13)(AX*8)
+	PREFETCHT0 (R14)(AX*8)
+
+	MOVQ AX, BX
+	SHLQ $5, BX
+
+	VBROADCASTSD (SI)(AX*8), Y8
+	VBROADCASTSD (DI)(AX*8), Y9
+	VMOVUPD      (R8)(BX*1), Y10
+	VMOVUPD      (R9)(BX*1), Y11
+	VMULPD       Y10, Y8, Y12
+	VMULPD       Y11, Y9, Y13
+	VSUBPD       Y13, Y12, Y12
+	VADDPD       Y12, Y0, Y0
+	VMULPD       Y11, Y8, Y12
+	VMULPD       Y10, Y9, Y13
+	VADDPD       Y13, Y12, Y12
+	VADDPD       Y12, Y4, Y4
+
+	VBROADCASTSD 8(SI)(AX*8), Y8
+	VBROADCASTSD 8(DI)(AX*8), Y9
+	VMOVUPD      32(R8)(BX*1), Y10
+	VMOVUPD      32(R9)(BX*1), Y11
+	VMULPD       Y10, Y8, Y12
+	VMULPD       Y11, Y9, Y13
+	VSUBPD       Y13, Y12, Y12
+	VADDPD       Y12, Y1, Y1
+	VMULPD       Y11, Y8, Y12
+	VMULPD       Y10, Y9, Y13
+	VADDPD       Y13, Y12, Y12
+	VADDPD       Y12, Y5, Y5
+
+	VBROADCASTSD 16(SI)(AX*8), Y8
+	VBROADCASTSD 16(DI)(AX*8), Y9
+	VMOVUPD      64(R8)(BX*1), Y10
+	VMOVUPD      64(R9)(BX*1), Y11
+	VMULPD       Y10, Y8, Y12
+	VMULPD       Y11, Y9, Y13
+	VSUBPD       Y13, Y12, Y12
+	VADDPD       Y12, Y2, Y2
+	VMULPD       Y11, Y8, Y12
+	VMULPD       Y10, Y9, Y13
+	VADDPD       Y13, Y12, Y12
+	VADDPD       Y12, Y6, Y6
+
+	VBROADCASTSD 24(SI)(AX*8), Y8
+	VBROADCASTSD 24(DI)(AX*8), Y9
+	VMOVUPD      96(R8)(BX*1), Y10
+	VMOVUPD      96(R9)(BX*1), Y11
+	VMULPD       Y10, Y8, Y12
+	VMULPD       Y11, Y9, Y13
+	VSUBPD       Y13, Y12, Y12
+	VADDPD       Y12, Y3, Y3
+	VMULPD       Y11, Y8, Y12
+	VMULPD       Y10, Y9, Y13
+	VADDPD       Y13, Y12, Y12
+	VADDPD       Y12, Y7, Y7
+
+	ADDQ $4, AX
+	JMP  ckloop4
+
+cktail:
+	CMPQ AX, CX
+	JGE  ckdone
+
+	MOVQ AX, BX
+	SHLQ $5, BX
+	VBROADCASTSD (SI)(AX*8), Y8
+	VBROADCASTSD (DI)(AX*8), Y9
+	VMOVUPD      (R8)(BX*1), Y10
+	VMOVUPD      (R9)(BX*1), Y11
+	VMULPD       Y10, Y8, Y12
+	VMULPD       Y11, Y9, Y13
+	VSUBPD       Y13, Y12, Y12
+	VADDPD       Y12, Y0, Y0
+	VMULPD       Y11, Y8, Y12
+	VMULPD       Y10, Y9, Y13
+	VADDPD       Y13, Y12, Y12
+	VADDPD       Y12, Y4, Y4
+
+	INCQ AX
+	JMP  cktail
+
+ckdone:
+	TESTQ $2, DX
+	JNZ   ckreduce
+	VMOVUPD Y0, (R10)
+	VMOVUPD Y1, 32(R10)
+	VMOVUPD Y2, 64(R10)
+	VMOVUPD Y3, 96(R10)
+	VMOVUPD Y4, 128(R10)
+	VMOVUPD Y5, 160(R10)
+	VMOVUPD Y6, 192(R10)
+	VMOVUPD Y7, 224(R10)
+	VZEROUPPER
+	RET
+
+ckreduce:
+	VADDPD Y1, Y0, Y0
+	VADDPD Y3, Y2, Y2
+	VADDPD Y2, Y0, Y0
+	VADDPD Y5, Y4, Y4
+	VADDPD Y7, Y6, Y6
+	VADDPD Y6, Y4, Y4
+	MOVQ   out+48(FP), R11
+	VMOVUPD Y0, (R11)
+	VMOVUPD Y4, 32(R11)
+	VZEROUPPER
+	RET
+
+// func dotVec4(aRe, aIm, xRe, xIm *float64, k4 int, part *float64)
+//
+// The single-solve adjoint dot's vector body, shared by the avx512 and
+// avx2 tiers: the four cdot accumulator chains run across the four ymm
+// lanes (lane c = chain c, element 4i+c), each lane performing the
+// scalar chain arithmetic exactly. Runs the k4 = k&^3 main-loop
+// elements only; the Go wrapper (adjDot) adds the tail into chain 0 and
+// applies the pinned fold. part receives the 8 raw partial sums
+// (sr0..sr3, si0..si3).
+TEXT ·dotVec4(SB), NOSPLIT, $0-48
+	MOVQ aRe+0(FP), SI
+	MOVQ aIm+8(FP), DI
+	MOVQ xRe+16(FP), R8
+	MOVQ xIm+24(FP), R9
+	MOVQ k4+32(FP), CX
+
+	VXORPD Y0, Y0, Y0 // sr chains
+	VXORPD Y1, Y1, Y1 // si chains
+
+	XORQ AX, AX // byte offset
+
+	SHLQ $3, CX // k4*8 bytes
+	JMP  vcheck
+
+vloop:
+	VMOVUPD (SI)(AX*1), Y2 // ar
+	VMOVUPD (DI)(AX*1), Y3 // ai
+	VMOVUPD (R8)(AX*1), Y4 // br
+	VMOVUPD (R9)(AX*1), Y5 // bi
+
+	VMULPD Y4, Y2, Y6 // ar*br
+	VMULPD Y5, Y3, Y7 // ai*bi
+	VSUBPD Y7, Y6, Y6 // ar*br - ai*bi
+	VADDPD Y6, Y0, Y0
+
+	VMULPD Y5, Y2, Y6 // ar*bi
+	VMULPD Y4, Y3, Y7 // ai*br
+	VADDPD Y7, Y6, Y6 // ar*bi + ai*br
+	VADDPD Y6, Y1, Y1
+
+	ADDQ $32, AX
+
+vcheck:
+	CMPQ AX, CX
+	JLT  vloop
+
+	MOVQ    part+40(FP), R10
+	VMOVUPD Y0, (R10)
+	VMOVUPD Y1, 32(R10)
+	VZEROUPPER
+	RET
+
+// func axpyCol4(rowRe, rowIm *float64, cr, ci float64, dstRe, dstIm *float64, n4 int)
+//
+// The single-solve forward column accumulation, shared by the avx512
+// and avx2 tiers: dst[i] += conj(row[i])·(cr+i·ci) elementwise across
+// ymm lanes, in the sign-folded form of the scalar forwardResid body
+// (dstRe += ar*cr + rowIm*ci, dstIm += ar*ci − rowIm*cr — exact; see
+// axpy8avx512). Elementwise, so there are no chains to preserve; the Go
+// wrapper (axpyCol) handles the n&3 tail.
+TEXT ·axpyCol4(SB), NOSPLIT, $0-56
+	MOVQ         rowRe+0(FP), SI
+	MOVQ         rowIm+8(FP), DI
+	VBROADCASTSD cr+16(FP), Y2
+	VBROADCASTSD ci+24(FP), Y3
+	MOVQ         dstRe+32(FP), R8
+	MOVQ         dstIm+40(FP), R9
+	MOVQ         n4+48(FP), CX
+
+	XORQ AX, AX // byte offset
+	SHLQ $3, CX // n4*8 bytes
+	JMP  accheck
+
+acloop:
+	VMOVUPD (SI)(AX*1), Y4 // ar
+	VMOVUPD (DI)(AX*1), Y5 // rowIm
+
+	// dstRe += ar*cr + rowIm*ci
+	VMULPD  Y2, Y4, Y6
+	VMULPD  Y3, Y5, Y7
+	VADDPD  Y7, Y6, Y6
+	VMOVUPD (R8)(AX*1), Y8
+	VADDPD  Y6, Y8, Y8
+	VMOVUPD Y8, (R8)(AX*1)
+
+	// dstIm += ar*ci − rowIm*cr
+	VMULPD  Y3, Y4, Y6
+	VMULPD  Y2, Y5, Y7
+	VSUBPD  Y7, Y6, Y6
+	VMOVUPD (R9)(AX*1), Y8
+	VADDPD  Y6, Y8, Y8
+	VMOVUPD Y8, (R9)(AX*1)
+
+	ADDQ $32, AX
+
+accheck:
+	CMPQ AX, CX
+	JLT  acloop
+
+	VZEROUPPER
+	RET

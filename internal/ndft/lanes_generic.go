@@ -1,27 +1,33 @@
-//go:build !amd64
+//go:build (!amd64 && !arm64) || ndft_noasm
 
 package ndft
 
-// laneWidth mirrors the amd64 batch-lane width so group partitioning is
-// architecture-independent; without the vector kernel groups simply run
-// the scalar path.
-const laneWidth = 8
+// detectTier resolves to the scalar contract path: either the
+// architecture has no vector kernels or the ndft_noasm build tag forced
+// them off. Batched solves share the scalar kernel with sequential ones
+// (identical results, per-session throughput).
+func detectTier() kernelTier { return tierScalar }
 
-// useDotLanes is false off amd64: batched solves share the scalar
-// kernel with sequential ones (identical results, per-session
-// throughput).
-const useDotLanes = false
+// The kernel entry points are never reached on the scalar tier (every
+// dispatch site gates on activeTier first); the stubs keep the package
+// compiling on any architecture.
 
-func dot8avx512(rowRe, rowIm, resTRe, resTIm *float64, n int, grOut, giOut *float64) {
-	panic("ndft: vector kernel called without AVX-512 support")
+func kernDot(rowRe, rowIm, resTRe, resTIm *float64, n int, grOut, giOut *float64) {
+	panic("ndft: vector kernel called on scalar tier")
 }
 
-func axpy8avx512(rowRe, rowIm, coefRe, coefIm, resTRe, resTIm *float64, n int, mask uint64) {
-	panic("ndft: vector kernel called without AVX-512 support")
+func kernDotChunk(rowRe, rowIm, resTRe, resTIm *float64, k int, state, out *float64, mode uint64, stride int) {
+	panic("ndft: vector kernel called on scalar tier")
 }
 
-const dotTile = 128
+func kernAxpy(rowRe, rowIm, coefRe, coefIm, resTRe, resTIm *float64, n int, mask uint64) {
+	panic("ndft: vector kernel called on scalar tier")
+}
 
-func dotChunk8avx512(rowRe, rowIm, resTRe, resTIm *float64, k int, state, out *float64, mode uint64, stride int) {
-	panic("ndft: vector kernel called without AVX-512 support")
+func kernAdjDot(aRe, aIm, xRe, xIm *float64, k4 int, part *float64) {
+	panic("ndft: vector kernel called on scalar tier")
+}
+
+func kernAxpyCol(rowRe, rowIm *float64, cr, ci float64, dstRe, dstIm *float64, n4 int) {
+	panic("ndft: vector kernel called on scalar tier")
 }

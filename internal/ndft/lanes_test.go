@@ -1,4 +1,4 @@
-//go:build amd64
+//go:build (amd64 || arm64) && !ndft_noasm
 
 package ndft
 
@@ -8,81 +8,63 @@ import (
 	"testing"
 )
 
-// refDot is the scalar reference chain arithmetic of the gradient pass's
-// inline dot (two-way unroll, four chains) — the solver's numerical
-// contract that every vector lane must reproduce bit for bit.
-func refDot(aRe, aIm, xRe, xIm []float64) (float64, float64) {
-	n := len(aRe)
-	var gr0, gi0, gr1, gi1 float64
-	i := 0
-	for ; i+2 <= n; i += 2 {
-		ar0, ai0, br0, bi0 := aRe[i], aIm[i], xRe[i], xIm[i]
-		gr0 += ar0*br0 - ai0*bi0
-		gi0 += ar0*bi0 + ai0*br0
-		ar1, ai1, br1, bi1 := aRe[i+1], aIm[i+1], xRe[i+1], xIm[i+1]
-		gr1 += ar1*br1 - ai1*bi1
-		gi1 += ar1*bi1 + ai1*br1
-	}
-	if i < n {
-		gr0 += aRe[i]*xRe[i] - aIm[i]*xIm[i]
-		gi0 += aRe[i]*xIm[i] + aIm[i]*xRe[i]
-	}
-	return gr0 + gr1, gi0 + gi1
-}
-
-// TestDotChunkLanesBitExact pins the tiled kernel: chaining
-// dotChunk8avx512 across element tiles must reproduce the one-shot
-// reference dot exactly in every lane, for tile splits that exercise
-// first/middle/last modes and odd tails.
+// TestDotChunkLanesBitExact pins the tiled kernel on every available
+// tier: chaining kernDotChunk across element tiles must reproduce the
+// one-shot reference dot (cdot, the fixed-K contract) exactly in every
+// lane, for tile splits that exercise first/middle/last modes and odd
+// tails.
 func TestDotChunkLanesBitExact(t *testing.T) {
-	if !useDotLanes {
-		t.Skip("no AVX-512 on this machine")
-	}
-	rng := rand.New(rand.NewSource(23))
-	for _, n := range []int{1, 2, 127, 128, 129, 255, 256, 300, 720} {
-		rowRe := make([]float64, n)
-		rowIm := make([]float64, n)
-		resTRe := make([]float64, n*laneWidth)
-		resTIm := make([]float64, n*laneWidth)
-		lanes := make([][2][]float64, laneWidth)
-		for b := range lanes {
-			lanes[b][0] = make([]float64, n)
-			lanes[b][1] = make([]float64, n)
-		}
-		state := make([]float64, 4*laneWidth)
-		out := make([]float64, 2*laneWidth)
-		for trial := 0; trial < 10; trial++ {
-			for i := 0; i < n; i++ {
-				rowRe[i] = rng.NormFloat64()
-				rowIm[i] = rng.NormFloat64()
-				for b := 0; b < laneWidth; b++ {
-					xr, xi := rng.NormFloat64(), rng.NormFloat64()
-					lanes[b][0][i], lanes[b][1][i] = xr, xi
-					resTRe[i*laneWidth+b] = xr
-					resTIm[i*laneWidth+b] = xi
+	for _, tier := range vectorTiers() {
+		t.Run(tier.String(), func(t *testing.T) {
+			forceTier(t, tier)
+			lw := batchLanes
+			rng := rand.New(rand.NewSource(23))
+			for _, n := range []int{1, 2, 127, 128, 129, 255, 256, 300, 720} {
+				rowRe := make([]float64, n)
+				rowIm := make([]float64, n)
+				resTRe := make([]float64, n*lw)
+				resTIm := make([]float64, n*lw)
+				lanes := make([][2][]float64, lw)
+				for b := range lanes {
+					lanes[b][0] = make([]float64, n)
+					lanes[b][1] = make([]float64, n)
+				}
+				state := make([]float64, 8*lw)
+				out := make([]float64, 2*lw)
+				for trial := 0; trial < 10; trial++ {
+					for i := 0; i < n; i++ {
+						rowRe[i] = rng.NormFloat64()
+						rowIm[i] = rng.NormFloat64()
+						for b := 0; b < lw; b++ {
+							xr, xi := rng.NormFloat64(), rng.NormFloat64()
+							lanes[b][0][i], lanes[b][1][i] = xr, xi
+							resTRe[i*lw+b] = xr
+							resTIm[i*lw+b] = xi
+						}
+					}
+					for i0 := 0; i0 < n; i0 += dotTile {
+						tl := dotTile
+						if n-i0 < tl {
+							tl = n - i0
+						}
+						var mode uint64
+						if i0 == 0 {
+							mode |= 1
+						}
+						if i0+tl == n {
+							mode |= 2
+						}
+						kernDotChunk(&rowRe[i0], &rowIm[i0], &resTRe[i0*lw], &resTIm[i0*lw], tl, &state[0], &out[0], mode, n*8)
+					}
+					for b := 0; b < lw; b++ {
+						wantR, wantI := cdot(rowRe, rowIm, lanes[b][0], lanes[b][1])
+						if out[b] != wantR || out[lw+b] != wantI {
+							t.Fatalf("n=%d lane=%d: got (%v,%v) want (%v,%v)", n, b, out[b], out[lw+b], wantR, wantI)
+						}
+					}
 				}
 			}
-			for i0 := 0; i0 < n; i0 += dotTile {
-				tl := dotTile
-				if n-i0 < tl {
-					tl = n - i0
-				}
-				var mode uint64
-				if i0 == 0 {
-					mode |= 1
-				}
-				if i0+tl == n {
-					mode |= 2
-				}
-				dotChunk8avx512(&rowRe[i0], &rowIm[i0], &resTRe[i0*laneWidth], &resTIm[i0*laneWidth], tl, &state[0], &out[0], mode, n*8)
-			}
-			for b := 0; b < laneWidth; b++ {
-				wantR, wantI := refDot(rowRe, rowIm, lanes[b][0], lanes[b][1])
-				if out[b] != wantR || out[laneWidth+b] != wantI {
-					t.Fatalf("n=%d lane=%d: got (%v,%v) want (%v,%v)", n, b, out[b], out[laneWidth+b], wantR, wantI)
-				}
-			}
-		}
+		})
 	}
 }
 
@@ -96,108 +78,119 @@ func refAxpy(rowRe, rowIm []float64, cr, ci float64, dstRe, dstIm []float64) {
 	}
 }
 
-// TestAxpyLanesBitExact pins the masked accumulation kernel: active
-// lanes must match the scalar forwardResid chain exactly, and masked-out
-// lanes must not move a single bit (including signed zeros and NaNs).
+// TestAxpyLanesBitExact pins the masked accumulation kernel on every
+// available tier: active lanes must match the scalar forwardResid chain
+// exactly, and masked-out lanes must not move a single bit (including
+// signed zeros and NaNs). On the 4-lane tiers this exercises the
+// emulated merge-mask (VMASKMOVPD / VBIT) against the same contract as
+// the AVX-512 opmask stores.
 func TestAxpyLanesBitExact(t *testing.T) {
-	if !useDotLanes {
-		t.Skip("no AVX-512 on this machine")
-	}
-	rng := rand.New(rand.NewSource(11))
-	for _, n := range []int{1, 2, 5, 35, 150} {
-		rowRe := make([]float64, n)
-		rowIm := make([]float64, n)
-		resTRe := make([]float64, n*laneWidth)
-		resTIm := make([]float64, n*laneWidth)
-		want := make([][2][]float64, laneWidth)
-		for b := range want {
-			want[b][0] = make([]float64, n)
-			want[b][1] = make([]float64, n)
-		}
-		var cr, ci [laneWidth]float64
-		for trial := 0; trial < 50; trial++ {
-			mask := uint64(rng.Intn(256))
-			scale := math.Pow(10, float64(rng.Intn(40)-20))
-			for b := 0; b < laneWidth; b++ {
-				cr[b], ci[b] = rng.NormFloat64()*scale, rng.NormFloat64()*scale
-			}
-			for i := 0; i < n; i++ {
-				rowRe[i] = rng.NormFloat64()
-				rowIm[i] = rng.NormFloat64()
-				for b := 0; b < laneWidth; b++ {
-					xr, xi := rng.NormFloat64(), rng.NormFloat64()
-					switch rng.Intn(8) {
-					case 0:
-						xr = math.Copysign(0, xr) // signed zeros must survive masking
-					case 1:
-						xr = math.NaN()
+	for _, tier := range vectorTiers() {
+		t.Run(tier.String(), func(t *testing.T) {
+			forceTier(t, tier)
+			lw := batchLanes
+			rng := rand.New(rand.NewSource(11))
+			for _, n := range []int{1, 2, 5, 35, 150} {
+				rowRe := make([]float64, n)
+				rowIm := make([]float64, n)
+				resTRe := make([]float64, n*lw)
+				resTIm := make([]float64, n*lw)
+				want := make([][2][]float64, lw)
+				for b := range want {
+					want[b][0] = make([]float64, n)
+					want[b][1] = make([]float64, n)
+				}
+				cr := make([]float64, lw)
+				ci := make([]float64, lw)
+				for trial := 0; trial < 50; trial++ {
+					mask := uint64(rng.Intn(1 << lw))
+					scale := math.Pow(10, float64(rng.Intn(40)-20))
+					for b := 0; b < lw; b++ {
+						cr[b], ci[b] = rng.NormFloat64()*scale, rng.NormFloat64()*scale
 					}
-					want[b][0][i], want[b][1][i] = xr, xi
-					resTRe[i*laneWidth+b] = xr
-					resTIm[i*laneWidth+b] = xi
-				}
-			}
-			for b := 0; b < laneWidth; b++ {
-				if mask&(1<<b) != 0 {
-					refAxpy(rowRe, rowIm, cr[b], ci[b], want[b][0], want[b][1])
-				}
-			}
-			axpy8avx512(&rowRe[0], &rowIm[0], &cr[0], &ci[0], &resTRe[0], &resTIm[0], n, mask)
-			for b := 0; b < laneWidth; b++ {
-				for i := 0; i < n; i++ {
-					gr, gi := resTRe[i*laneWidth+b], resTIm[i*laneWidth+b]
-					wr, wi := want[b][0][i], want[b][1][i]
-					if math.Float64bits(gr) != math.Float64bits(wr) || math.Float64bits(gi) != math.Float64bits(wi) {
-						t.Fatalf("n=%d mask=%02x lane=%d i=%d: got (%v,%v) want (%v,%v)", n, mask, b, i, gr, gi, wr, wi)
+					for i := 0; i < n; i++ {
+						rowRe[i] = rng.NormFloat64()
+						rowIm[i] = rng.NormFloat64()
+						for b := 0; b < lw; b++ {
+							xr, xi := rng.NormFloat64(), rng.NormFloat64()
+							switch rng.Intn(8) {
+							case 0:
+								xr = math.Copysign(0, xr) // signed zeros must survive masking
+							case 1:
+								xr = math.NaN()
+							}
+							want[b][0][i], want[b][1][i] = xr, xi
+							resTRe[i*lw+b] = xr
+							resTIm[i*lw+b] = xi
+						}
+					}
+					for b := 0; b < lw; b++ {
+						if mask&(1<<b) != 0 {
+							refAxpy(rowRe, rowIm, cr[b], ci[b], want[b][0], want[b][1])
+						}
+					}
+					kernAxpy(&rowRe[0], &rowIm[0], &cr[0], &ci[0], &resTRe[0], &resTIm[0], n, mask)
+					for b := 0; b < lw; b++ {
+						for i := 0; i < n; i++ {
+							gr, gi := resTRe[i*lw+b], resTIm[i*lw+b]
+							wr, wi := want[b][0][i], want[b][1][i]
+							if math.Float64bits(gr) != math.Float64bits(wr) || math.Float64bits(gi) != math.Float64bits(wi) {
+								t.Fatalf("n=%d mask=%02x lane=%d i=%d: got (%v,%v) want (%v,%v)", n, mask, b, i, gr, gi, wr, wi)
+							}
+						}
 					}
 				}
 			}
-		}
+		})
 	}
 }
 
-// TestDotLanesBitExact pins the lane kernel's contract: every lane of
-// dot8avx512 must equal the scalar reference dot exactly, for every
-// vector length (odd tails included), across magnitudes from subnormal
-// to huge.
+// TestDotLanesBitExact pins the lane kernel's contract on every
+// available tier: every lane of kernDot must equal the scalar reference
+// dot (cdot) exactly, for every vector length (odd tails included),
+// across magnitudes from subnormal to huge.
 func TestDotLanesBitExact(t *testing.T) {
-	if !useDotLanes {
-		t.Skip("no AVX-512 on this machine")
-	}
-	rng := rand.New(rand.NewSource(7))
-	for _, n := range []int{1, 2, 3, 7, 16, 35, 36, 101} {
-		rowRe := make([]float64, n)
-		rowIm := make([]float64, n)
-		resTRe := make([]float64, n*laneWidth)
-		resTIm := make([]float64, n*laneWidth)
-		lanes := make([][4][]float64, laneWidth) // per-lane xRe, xIm
-		for b := range lanes {
-			lanes[b][0] = make([]float64, n)
-			lanes[b][1] = make([]float64, n)
-		}
-		for trial := 0; trial < 50; trial++ {
-			scale := math.Pow(10, float64(rng.Intn(40)-20))
-			for i := 0; i < n; i++ {
-				rowRe[i] = rng.NormFloat64()
-				rowIm[i] = rng.NormFloat64()
-				for b := 0; b < laneWidth; b++ {
-					xr, xi := rng.NormFloat64()*scale, rng.NormFloat64()*scale
-					if rng.Intn(5) == 0 {
-						xr = 0 // exercise exact zeros (sparse residuals)
+	for _, tier := range vectorTiers() {
+		t.Run(tier.String(), func(t *testing.T) {
+			forceTier(t, tier)
+			lw := batchLanes
+			rng := rand.New(rand.NewSource(7))
+			for _, n := range []int{1, 2, 3, 7, 16, 35, 36, 101} {
+				rowRe := make([]float64, n)
+				rowIm := make([]float64, n)
+				resTRe := make([]float64, n*lw)
+				resTIm := make([]float64, n*lw)
+				lanes := make([][2][]float64, lw) // per-lane xRe, xIm
+				for b := range lanes {
+					lanes[b][0] = make([]float64, n)
+					lanes[b][1] = make([]float64, n)
+				}
+				for trial := 0; trial < 50; trial++ {
+					scale := math.Pow(10, float64(rng.Intn(40)-20))
+					for i := 0; i < n; i++ {
+						rowRe[i] = rng.NormFloat64()
+						rowIm[i] = rng.NormFloat64()
+						for b := 0; b < lw; b++ {
+							xr, xi := rng.NormFloat64()*scale, rng.NormFloat64()*scale
+							if rng.Intn(5) == 0 {
+								xr = 0 // exercise exact zeros (sparse residuals)
+							}
+							lanes[b][0][i], lanes[b][1][i] = xr, xi
+							resTRe[i*lw+b] = xr
+							resTIm[i*lw+b] = xi
+						}
 					}
-					lanes[b][0][i], lanes[b][1][i] = xr, xi
-					resTRe[i*laneWidth+b] = xr
-					resTIm[i*laneWidth+b] = xi
+					gr := make([]float64, lw)
+					gi := make([]float64, lw)
+					kernDot(&rowRe[0], &rowIm[0], &resTRe[0], &resTIm[0], n, &gr[0], &gi[0])
+					for b := 0; b < lw; b++ {
+						wantR, wantI := cdot(rowRe, rowIm, lanes[b][0], lanes[b][1])
+						if gr[b] != wantR || gi[b] != wantI {
+							t.Fatalf("n=%d lane=%d: got (%v,%v) want (%v,%v)", n, b, gr[b], gi[b], wantR, wantI)
+						}
+					}
 				}
 			}
-			var gr, gi [laneWidth]float64
-			dot8avx512(&rowRe[0], &rowIm[0], &resTRe[0], &resTIm[0], n, &gr[0], &gi[0])
-			for b := 0; b < laneWidth; b++ {
-				wantR, wantI := refDot(rowRe, rowIm, lanes[b][0], lanes[b][1])
-				if gr[b] != wantR || gi[b] != wantI {
-					t.Fatalf("n=%d lane=%d: got (%v,%v) want (%v,%v)", n, b, gr[b], gi[b], wantR, wantI)
-				}
-			}
-		}
+		})
 	}
 }

@@ -20,8 +20,10 @@ import (
 )
 
 var (
-	errEmptyGrid = errors.New("ndft: empty frequency or delay grid")
-	errZeroNorm  = errors.New("ndft: zero spectral norm")
+	errEmptyGrid         = errors.New("ndft: empty frequency or delay grid")
+	errZeroNorm          = errors.New("ndft: zero spectral norm")
+	errUnknownKernel     = errors.New("ndft: unknown kernel tier (want scalar, avx2, avx512, or neon)")
+	errKernelUnavailable = errors.New("ndft: kernel tier not supported by this CPU")
 )
 
 // Matrix is the n×m non-uniform Fourier matrix F with

@@ -74,7 +74,7 @@ func (pl *Plan) NoiseFloor(h dsp.Vec) float64 {
 	split(w.hRe, w.hIm, h)
 	mags := w.corr[:0]
 	for j := 0; j < m; j++ {
-		cr, ci := cdot(pl.fhRe[j*n:(j+1)*n], pl.fhIm[j*n:(j+1)*n], w.hRe, w.hIm)
+		cr, ci := adjDot(pl.fhRe[j*n:(j+1)*n], pl.fhIm[j*n:(j+1)*n], w.hRe, w.hIm)
 		mags = append(mags, math.Hypot(cr, ci))
 	}
 	return noiseNormFromScale(noiseScaleMAD(mags))

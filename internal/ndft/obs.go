@@ -30,7 +30,29 @@ var (
 	obsBatchWidth = obs.NewHist("ndft.solve.batch_width")
 	// obsBatchWallNs is wall time per SolveBatch call, nanoseconds.
 	obsBatchWallNs = obs.NewHist("ndft.solve.batch_wall_ns")
+	// obsKernelLanes is the active kernel tier's batch-lane width (8 for
+	// avx512/scalar, 4 for avx2/neon); the tier name itself rides the
+	// snapshot as the ndft.vector_kernel label. Together they let a
+	// /metrics poll (and CI's throughput gates) see which kernel a
+	// deployment actually runs.
+	obsKernelLanes = obs.NewGauge("ndft.kernel_lanes")
 )
+
+// init publishes the resolved kernel tier on the snapshot and keeps a
+// callback refreshing the label so tier forcing (tests, benches) is
+// visible on the next capture. The lanes gauge is refreshed there too:
+// gauges no-op while the layer is disabled, so an init-time Set alone
+// could be lost if obs is enabled later.
+func init() {
+	obs.SetLabel("ndft.vector_kernel", VectorKernel())
+	obs.OnSnapshot(func(s *obs.Snapshot) {
+		if s.Labels == nil {
+			s.Labels = make(map[string]string, 1)
+		}
+		s.Labels["ndft.vector_kernel"] = VectorKernel()
+		s.Gauges["ndft.kernel_lanes"] = float64(batchLanes)
+	})
+}
 
 // recordBatch aggregates one finished batch into the solver metrics.
 // Called once per SolveBatch with the task array still live; allocates

@@ -211,7 +211,7 @@ func (pl *Plan) kktViolated(w *workspace, alpha float64) bool {
 		if w.pRe[j] != 0 || w.pIm[j] != 0 {
 			continue
 		}
-		gr, gi := cdot(pl.fhRe[j*n:(j+1)*n], pl.fhIm[j*n:(j+1)*n], w.residRe, w.resIm)
+		gr, gi := adjDot(pl.fhRe[j*n:(j+1)*n], pl.fhIm[j*n:(j+1)*n], w.residRe, w.resIm)
 		if gr*gr+gi*gi > limSq {
 			return true
 		}
@@ -222,7 +222,9 @@ func (pl *Plan) kktViolated(w *workspace, alpha float64) bool {
 // forwardResid computes resid = F·src − h̃ into the workspace, walking
 // only the dictionary columns in src's support (ascending, so the
 // accumulation order — hence the result — is deterministic). Each column
-// F[·][j] is read as the conjugate of adjoint row j, which is contiguous.
+// F[·][j] is read as the conjugate of adjoint row j, which is
+// contiguous; the elementwise accumulation goes through axpyCol, which
+// vectorizes it on the active kernel tier without changing a bit.
 func (pl *Plan) forwardResid(w *workspace, srcRe, srcIm []float64, active []int) {
 	n := pl.n
 	for i := 0; i < n; i++ {
@@ -230,26 +232,22 @@ func (pl *Plan) forwardResid(w *workspace, srcRe, srcIm []float64, active []int)
 		w.resIm[i] = -w.hIm[i]
 	}
 	for _, j := range active {
-		cr, ci := srcRe[j], srcIm[j]
-		row := pl.fhRe[j*n : (j+1)*n]
-		rowIm := pl.fhIm[j*n : (j+1)*n]
-		dstRe := w.residRe[:n]
-		dstIm := w.resIm[:n]
-		for i, ar := range row {
-			ai := -rowIm[i] // F[i][j] = conj(Fᴴ[j][i])
-			dstRe[i] += ar*cr - ai*ci
-			dstIm[i] += ar*ci + ai*cr
-		}
+		axpyCol(pl.fhRe[j*n:(j+1)*n], pl.fhIm[j*n:(j+1)*n],
+			srcRe[j], srcIm[j], w.residRe[:n], w.resIm[:n])
 	}
 }
 
 func (pl *Plan) getWorkspace() *workspace { return pl.ws.Get().(*workspace) }
 
 // cdot is the planar complex inner product Σ a[k]·x[k] (no conjugation —
-// the adjoint rows are stored pre-conjugated). Two-way unrolling keeps
-// four independent accumulator chains in flight, hiding scalar add
-// latency; the split is deterministic, so results are identical across
-// runs and worker counts.
+// the adjoint rows are stored pre-conjugated), and the reference
+// implementation of the solver's fixed-K accumulation contract: four
+// independent accumulator chains (element i feeds chain i mod 4), the
+// k mod 4 tail feeding chain 0, folded as (s0+s1)+(s2+s3). The chains
+// hide scalar add latency; the fixed split is deterministic, so results
+// are identical across runs, worker counts, and — because every SIMD
+// tier implements the same contract lane-for-lane (see adjDot and the
+// lane kernels) — across architectures.
 func cdot(aRe, aIm, xRe, xIm []float64) (float64, float64) {
 	k := len(aRe)
 	aIm = aIm[:k]

@@ -173,6 +173,7 @@ var reg struct {
 	counters  []*Counter
 	gauges    []*Gauge
 	hists     []*Hist
+	labels    map[string]string
 	callbacks []func(*Snapshot)
 }
 
@@ -218,6 +219,21 @@ func NewHist(name string) *Hist {
 	return h
 }
 
+// SetLabel records a static string fact about the process — the ndft
+// kernel tier, for example — surfaced verbatim in every Snapshot's
+// "labels" object. Labels are for init-time environment facts, not
+// per-event data: unlike metrics they record even while the layer is
+// disabled (they describe the process, not traffic), and setting one
+// takes the registry lock, so keep SetLabel off hot paths.
+func SetLabel(name, value string) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if reg.labels == nil {
+		reg.labels = make(map[string]string)
+	}
+	reg.labels[name] = value
+}
+
 // OnSnapshot registers a callback run by Capture after the registered
 // metrics are rendered, so packages can contribute derived gauges (the
 // tof plan-registry occupancy, fix rates) without obs depending on them.
@@ -254,6 +270,13 @@ func Capture() *Snapshot {
 	gauges := append([]*Gauge(nil), reg.gauges...)
 	hists := append([]*Hist(nil), reg.hists...)
 	callbacks := append([]func(*Snapshot){}, reg.callbacks...)
+	var labels map[string]string
+	if len(reg.labels) > 0 {
+		labels = make(map[string]string, len(reg.labels))
+		for k, v := range reg.labels {
+			labels[k] = v
+		}
+	}
 	reg.mu.Unlock()
 
 	s := &Snapshot{
@@ -261,6 +284,7 @@ func Capture() *Snapshot {
 		Counters: make(map[string]int64, len(counters)),
 		Gauges:   make(map[string]float64, len(gauges)),
 		Hists:    make(map[string]HistSnapshot, len(hists)),
+		Labels:   labels,
 	}
 	for _, c := range counters {
 		s.Counters[c.name] = c.Value()
@@ -284,6 +308,9 @@ type Snapshot struct {
 	Counters map[string]int64        `json:"counters"`
 	Gauges   map[string]float64      `json:"gauges"`
 	Hists    map[string]HistSnapshot `json:"hists"`
+	// Labels are static process facts registered via SetLabel (the ndft
+	// kernel tier, for example); additive, omitted when none are set.
+	Labels map[string]string `json:"labels,omitempty"`
 }
 
 // HistSnapshot is one histogram's rendered state: totals, the standard
