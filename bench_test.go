@@ -273,6 +273,28 @@ func BenchmarkPerfBatchCampaign(b *testing.B) {
 	}
 }
 
+func BenchmarkPerfServiceCampaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.PerfServiceScaled(quick(1))
+		// The CI-sized daemon must hold its whole fleet concurrently
+		// tracked through the window, sustain throughput, and account
+		// every device at drain: tracked == stat + full == retired.
+		fleet := r.Metrics["stat_devices"] + r.Metrics["full_devices"]
+		if r.Metrics["tracked_devices"] != fleet {
+			b.Fatalf("tracked %v devices, fleet is %v", r.Metrics["tracked_devices"], fleet)
+		}
+		if r.Metrics["retired"] != fleet {
+			b.Fatalf("retired %v devices at drain, fleet is %v", r.Metrics["retired"], fleet)
+		}
+		if r.Metrics["fix_rate_hz"] <= 0 {
+			b.Fatal("service campaign recorded no fixes")
+		}
+		if r.Metrics["fix_p99_us"] <= 0 {
+			b.Fatal("service campaign recorded no fix-latency distribution")
+		}
+	}
+}
+
 // solveBatchFixture builds the service-scale subcarrier plan and 16
 // cold fixed-iteration requests — the steady-state service workload the
 // batched solver targets.

@@ -27,6 +27,7 @@ import (
 	"chronos/internal/obs"
 	"chronos/internal/rf"
 	"chronos/internal/sim"
+	"chronos/internal/svc"
 	"chronos/internal/tof"
 	"chronos/internal/track"
 	"chronos/internal/wifi"
@@ -332,6 +333,35 @@ type TrackMultiSolver = track.MultiSolver
 func RunTrackMulti(rng *rand.Rand, cfg TrackMultiConfig) *TrackMultiResult {
 	return track.RunMulti(rng, cfg)
 }
+
+// Service is the always-on localization daemon: N worker shards, each
+// exclusively owning the sessions of the devices that hash to it, a
+// hierarchical timer wheel per shard pacing sweeps, and the obs layer
+// as its management surface. Attach/Detach manage the fleet; Drain
+// stops it gracefully.
+type Service = svc.Daemon
+
+// ServiceConfig tunes a service daemon (shard count, wheel tick,
+// virtual vs wall time, solve coalescing).
+type ServiceConfig = svc.Config
+
+// ServiceDeviceConfig describes one device attached to the service:
+// either a full CSI→solve→Kalman pipeline session or the statistical
+// ranging model at fleet scale.
+type ServiceDeviceConfig = svc.DeviceConfig
+
+// ServiceDeviceResult is one retired device's outcome (at completion,
+// detach, or drain).
+type ServiceDeviceResult = svc.DeviceResult
+
+// NewService builds and starts a localization daemon; stop it with
+// Drain.
+func NewService(cfg ServiceConfig) *Service { return svc.NewDaemon(cfg) }
+
+// SetSharedPlanCap rebounds the shared solver-plan registry's LRU limit
+// (0 restores the default) and returns the previous bound — an
+// operational memory lever for long-running services.
+func SetSharedPlanCap(maxPlans int) int { return tof.SetSharedPlanCap(maxPlans) }
 
 // MeasureDistance is the quickstart helper: it sweeps all bands over the
 // link, runs the faithful estimator, and returns the estimated distance

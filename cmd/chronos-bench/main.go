@@ -69,6 +69,14 @@ var figures = []struct {
 	// exact), so like perf it runs only when requested, snapshotted into
 	// BENCH_6.json.
 	{key: "batch", fn: exp.PerfBatch, explicitOnly: true},
+	// service is the always-on daemon capacity campaign (PR 9): a
+	// virtual-time chronos-svc carrying a 10k-device stat fleet plus a
+	// full-pipeline cohort through the shared coalescer, reporting
+	// concurrent tracked devices, sustained fix throughput, p99 fix
+	// latency, and drain time (BENCH_8.json). Wall-clock columns, so
+	// explicit-only like perf; servicescaled is the CI-sized variant.
+	{key: "service", fn: exp.PerfService, explicitOnly: true},
+	{key: "servicescaled", fn: exp.PerfServiceScaled, explicitOnly: true},
 }
 
 var ablations = []struct {

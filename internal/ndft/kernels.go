@@ -129,13 +129,6 @@ func setKernelTier(t kernelTier) kernelTier {
 // this value.
 func VectorKernel() string { return activeTier.String() }
 
-// HasVectorKernel reports whether a vector (non-scalar) kernel tier is
-// active.
-//
-// Deprecated: use VectorKernel, which names the tier; CI throughput
-// gates need the tier, not a boolean.
-func HasVectorKernel() bool { return activeTier != tierScalar }
-
 // ForceKernel forces the kernel tier by name ("scalar", "avx2",
 // "avx512", "neon") and returns the previously active tier's name. The
 // request is clamped downgrade-only against the detected hardware —

@@ -1,0 +1,510 @@
+package svc
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chronos/internal/obs"
+	"chronos/internal/sim"
+	"chronos/internal/tof"
+	"chronos/internal/track"
+)
+
+// Config tunes a daemon.
+type Config struct {
+	// Shards is the worker-shard count (default 4). Devices map to
+	// shards by FNV-1a over the device ID — the same hashing discipline
+	// the campaign engine uses for per-trial seeds — so a device's
+	// sessions always land on one shard and its warm solver state,
+	// Kalman tracker, and alias-window seeds are shard-exclusive.
+	Shards int
+	// Office is the shared multipath world every full session ranges in
+	// (required for full-pipeline devices; read-only during operation).
+	Office *sim.Office
+	// Tick is the shard timer-wheel granularity (default 1 ms).
+	Tick time.Duration
+	// Virtual runs the shard loops on virtual time: each shard advances
+	// its wheel directly to the next pending timer instead of pacing
+	// against the wall clock. Sessions execute identically — virtual
+	// mode is how the test harness and the PerfService campaign make
+	// daemon runs deterministic and faster than real time.
+	Virtual bool
+	// Coalesce arms one shared tof.Coalescer across all shards: full
+	// sessions' concurrent main-profile inversions batch per plan into
+	// SolveBatch calls (results stay byte-identical; see tof.Coalescer).
+	Coalesce bool
+	// CoalescerConfig tunes the shared coalescer when Coalesce is set.
+	CoalescerConfig tof.CoalescerConfig
+	// QueueDepth bounds each shard's pending lifecycle-command queue
+	// (default 1024). Attach blocks when the owning shard's queue is
+	// full — backpressure, not loss.
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.Tick <= 0 {
+		c.Tick = time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	return c
+}
+
+// DeviceConfig describes one device attached to the daemon.
+type DeviceConfig struct {
+	// Seed seeds the device's private RNG; every random draw the device
+	// makes (walk waypoints, radio noise, channel fading) comes from it,
+	// which is what makes daemon runs reproducible per device.
+	Seed int64
+	// Stat selects the statistical session kind: ranges drawn from the
+	// empirical Chronos error model (drone.StatSensor) instead of full
+	// CSI sweeps and profile inversion — the cheap fleet-scale workload,
+	// exactly as track.RunMulti's sensor mode. Default is the full
+	// pipeline.
+	Stat bool
+
+	// Session configures a full-pipeline device (track.Session).
+	// Session.Sweeps < 0 keeps the device tracked until detach or drain.
+	Session track.SessionConfig
+	// Estimator configures the full device's tof.Estimator. The zero
+	// value is the estimator default config; the daemon fills in the
+	// shared coalescer when Config.Coalesce is set.
+	Estimator tof.Config
+
+	// FixPeriod paces a stat device's fixes (default 84 ms — the
+	// paper's median full-sweep latency).
+	FixPeriod time.Duration
+	// Fixes bounds a stat device's fix count; 0 means until detach.
+	Fixes int
+	// Speed is a stat device's walk speed in m/s.
+	Speed float64
+	// RoomW, RoomH bound a stat device's walk (default 12 × 10 m).
+	RoomW, RoomH float64
+}
+
+// DeviceResult is one retired device's outcome, collected at session
+// completion, detach, or drain.
+type DeviceResult struct {
+	ID   uint64
+	Stat bool
+	// Fixes is the device's total fix count.
+	Fixes int
+	// Session is the full-pipeline session's result (nil for stat
+	// devices); partial when the device was detached or drained
+	// mid-stream.
+	Session *track.SessionResult
+	// Err records a session that failed to build or stream (calibration
+	// failure, malformed config); such devices retire immediately.
+	Err error
+}
+
+var (
+	// ErrDraining rejects lifecycle calls after Drain has begun.
+	ErrDraining = errors.New("svc: daemon is draining")
+	// ErrUnknownDevice rejects a Detach for an ID that is not attached.
+	ErrUnknownDevice = errors.New("svc: unknown device")
+)
+
+// Daemon is the always-on localization service: N worker shards, each
+// exclusively owning the sessions of the devices that hash to it and
+// driving their sweeps from a private hierarchical timer wheel. See the
+// package comment for the ownership model.
+type Daemon struct {
+	cfg       Config
+	coalescer *tof.Coalescer
+	shards    []*shard
+	start     time.Time
+
+	mu       sync.Mutex
+	draining bool
+	results  map[uint64]*DeviceResult
+	wg       sync.WaitGroup
+
+	stopCh chan struct{}
+}
+
+// NewDaemon builds and starts a daemon: shard goroutines spin up
+// immediately and idle until devices attach. Stop it with Drain.
+func NewDaemon(cfg Config) *Daemon {
+	cfg = cfg.withDefaults()
+	d := &Daemon{
+		cfg:     cfg,
+		start:   time.Now(),
+		results: make(map[uint64]*DeviceResult),
+		stopCh:  make(chan struct{}),
+	}
+	if cfg.Coalesce {
+		d.coalescer = tof.NewCoalescer(cfg.CoalescerConfig)
+	}
+	d.shards = make([]*shard, cfg.Shards)
+	for i := range d.shards {
+		d.shards[i] = newShard(d, i)
+	}
+	currentDaemon.Store(d)
+	d.wg.Add(len(d.shards))
+	for _, s := range d.shards {
+		go s.run()
+	}
+	return d
+}
+
+// shardFor maps a device ID to its owning shard: FNV-1a over the ID's
+// little-endian bytes, mod the shard count — the PR-1 seed-hashing
+// discipline, so the mapping is stable across runs and shard restarts.
+func (d *Daemon) shardFor(id uint64) *shard {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(id >> (8 * i))
+	}
+	h.Write(b[:])
+	return d.shards[h.Sum64()%uint64(len(d.shards))]
+}
+
+// Attach registers a device and schedules its first sweep on its owning
+// shard. It is asynchronous: the shard builds (and calibrates) the
+// session on its own goroutine, so Attach returns once the command is
+// enqueued. A duplicate ID retires immediately with an error recorded in
+// its DeviceResult. Attach blocks only when the shard's command queue is
+// full, and fails once draining has begun.
+func (d *Daemon) Attach(id uint64, cfg DeviceConfig) error {
+	d.mu.Lock()
+	if d.draining {
+		d.mu.Unlock()
+		return ErrDraining
+	}
+	d.mu.Unlock()
+	if !cfg.Stat && d.cfg.Office == nil {
+		return errors.New("svc: full-pipeline device requires Config.Office")
+	}
+	s := d.shardFor(id)
+	s.pending.Add(1)
+	select {
+	case s.cmds <- shardCmd{attach: true, id: id, cfg: cfg}:
+		obsAttaches.Inc()
+		return nil
+	case <-d.stopCh:
+		s.pending.Add(-1)
+		return ErrDraining
+	}
+}
+
+// Detach removes a device: its session retires with whatever it has
+// streamed so far. Asynchronous like Attach; detaching an unknown ID is
+// recorded (and counted) when the owning shard processes the command.
+func (d *Daemon) Detach(id uint64) error {
+	d.mu.Lock()
+	if d.draining {
+		d.mu.Unlock()
+		return ErrDraining
+	}
+	d.mu.Unlock()
+	s := d.shardFor(id)
+	s.pending.Add(1)
+	select {
+	case s.cmds <- shardCmd{attach: false, id: id}:
+		obsDetaches.Inc()
+		return nil
+	case <-d.stopCh:
+		s.pending.Add(-1)
+		return ErrDraining
+	}
+}
+
+// retire records a finished device. Called from shard goroutines.
+func (d *Daemon) retire(r *DeviceResult) {
+	d.mu.Lock()
+	d.results[r.ID] = r
+	d.mu.Unlock()
+	obsRetired.Inc()
+}
+
+// Results snapshots the retired devices by ID. Complete only after
+// Quiesce (finite fleets) or Drain.
+func (d *Daemon) Results() map[uint64]*DeviceResult {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[uint64]*DeviceResult, len(d.results))
+	for k, v := range d.results {
+		out[k] = v
+	}
+	return out
+}
+
+// Sessions reports the live session count across shards.
+func (d *Daemon) Sessions() int {
+	n := int64(0)
+	for _, s := range d.shards {
+		n += s.live.Load()
+	}
+	return int(n)
+}
+
+// QueueDepth reports the pending lifecycle commands across shards.
+func (d *Daemon) QueueDepth() int {
+	n := int64(0)
+	for _, s := range d.shards {
+		n += s.pending.Load()
+	}
+	return int(n)
+}
+
+// PendingTimers reports scheduled-but-unfired sweep timers across shards.
+func (d *Daemon) PendingTimers() int {
+	n := int64(0)
+	for _, s := range d.shards {
+		n += s.timers.Load()
+	}
+	return int(n)
+}
+
+// Quiesce blocks until every shard is idle — no live sessions, no
+// pending commands, no scheduled timers — or the timeout expires. It is
+// how finite-fleet runs (the golden harness, PerfService) wait for
+// completion; an always-on fleet with endless sessions never quiesces.
+func (d *Daemon) Quiesce(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if d.Sessions() == 0 && d.QueueDepth() == 0 && d.PendingTimers() == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("svc: quiesce timed out with %d sessions, %d queued cmds, %d timers",
+				d.Sessions(), d.QueueDepth(), d.PendingTimers())
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Drain gracefully stops the daemon: admissions close immediately, each
+// shard finishes the sweep it is executing (in-flight solves flush
+// through the coalescer as usual), cancels the remaining schedule,
+// retires every live session with its partial results, and exits. Drain
+// waits for the shards up to timeout and then captures the final metrics
+// snapshot. A second Drain returns ErrDraining.
+func (d *Daemon) Drain(timeout time.Duration) (*obs.Snapshot, error) {
+	d.mu.Lock()
+	if d.draining {
+		d.mu.Unlock()
+		return nil, ErrDraining
+	}
+	d.draining = true
+	d.mu.Unlock()
+
+	close(d.stopCh)
+	done := make(chan struct{})
+	go func() {
+		d.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("svc: drain timed out after %v", timeout)
+	}
+	obsDrains.Inc()
+	return obs.Capture(), nil
+}
+
+// shardCmd is one lifecycle command bound for a shard.
+type shardCmd struct {
+	attach bool
+	id     uint64
+	cfg    DeviceConfig
+}
+
+// shard owns a disjoint set of device sessions: the only goroutine that
+// touches them is the shard's run loop, so session state needs no locks.
+// The atomic mirrors (live, timers, pending) exist for the management
+// surface — gauges and Quiesce read them cross-shard.
+type shard struct {
+	d     *Daemon
+	id    int
+	wheel *Wheel
+	cmds  chan shardCmd
+
+	sessions map[uint64]*deviceSession
+
+	live    atomic.Int64 // live sessions (mirror of len(sessions))
+	timers  atomic.Int64 // pending wheel timers
+	pending atomic.Int64 // queued-but-unprocessed commands
+}
+
+func newShard(d *Daemon, id int) *shard {
+	return &shard{
+		d:        d,
+		id:       id,
+		wheel:    NewWheel(d.cfg.Tick),
+		cmds:     make(chan shardCmd, d.cfg.QueueDepth),
+		sessions: make(map[uint64]*deviceSession),
+	}
+}
+
+// run is the shard loop. Virtual mode: drain commands, advance the
+// wheel straight to its next pending timer, repeat; block only when
+// idle. Wall mode: advance the wheel to wall-now, then sleep toward the
+// earliest due timer (capped at one tick so fresh attaches are picked up
+// promptly).
+func (s *shard) run() {
+	defer s.d.wg.Done()
+	for {
+		s.drainCmds()
+		if s.stopRequested() {
+			s.shutdown()
+			return
+		}
+		if s.d.cfg.Virtual {
+			if s.wheel.Len() > 0 {
+				s.wheel.AdvanceToNext()
+				s.timers.Store(int64(s.wheel.Len()))
+				continue
+			}
+			// Idle: wait for lifecycle traffic or stop.
+			select {
+			case c := <-s.cmds:
+				s.apply(c)
+			case <-s.d.stopCh:
+			}
+			continue
+		}
+
+		now := time.Since(s.d.start)
+		s.wheel.Advance(now)
+		s.timers.Store(int64(s.wheel.Len()))
+		wait := s.wheel.Tick()
+		if due, ok := s.wheel.NextDue(); ok {
+			if until := due - time.Since(s.d.start); until < wait {
+				wait = until
+			}
+		}
+		if wait <= 0 {
+			continue
+		}
+		t := time.NewTimer(wait)
+		select {
+		case c := <-s.cmds:
+			t.Stop()
+			s.apply(c)
+		case <-s.d.stopCh:
+			t.Stop()
+		case <-t.C:
+		}
+	}
+}
+
+// stopRequested reports whether drain has been signaled.
+func (s *shard) stopRequested() bool {
+	select {
+	case <-s.d.stopCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// drainCmds applies every queued command without blocking.
+func (s *shard) drainCmds() {
+	for {
+		c, ok := s.takeCmd()
+		if !ok {
+			return
+		}
+		s.apply(c)
+	}
+}
+
+// takeCmd pops one queued command without blocking.
+func (s *shard) takeCmd() (shardCmd, bool) {
+	select {
+	case c := <-s.cmds:
+		return c, true
+	default:
+		return shardCmd{}, false
+	}
+}
+
+// apply processes one lifecycle command on the shard goroutine.
+func (s *shard) apply(c shardCmd) {
+	defer s.pending.Add(-1)
+	if c.attach {
+		s.attach(c.id, c.cfg)
+		return
+	}
+	ds, ok := s.sessions[c.id]
+	if !ok {
+		obsAttachErrors.Inc()
+		return
+	}
+	s.remove(ds, nil)
+}
+
+// attach builds the device's session and schedules its first event.
+func (s *shard) attach(id uint64, cfg DeviceConfig) {
+	if _, dup := s.sessions[id]; dup {
+		obsAttachErrors.Inc()
+		s.d.retire(&DeviceResult{ID: id, Stat: cfg.Stat,
+			Err: fmt.Errorf("svc: device %d already attached", id)})
+		return
+	}
+	ds, err := newDeviceSession(s, id, cfg)
+	if err != nil {
+		obsAttachErrors.Inc()
+		s.d.retire(&DeviceResult{ID: id, Stat: cfg.Stat, Err: err})
+		return
+	}
+	s.sessions[id] = ds
+	s.live.Add(1)
+	ds.scheduleNext()
+	s.timers.Store(int64(s.wheel.Len()))
+}
+
+// remove retires a session and cancels its schedule.
+func (s *shard) remove(ds *deviceSession, err error) {
+	s.wheel.Cancel(ds.timer)
+	ds.timer = nil
+	delete(s.sessions, ds.id)
+	s.live.Add(-1)
+	s.timers.Store(int64(s.wheel.Len()))
+	s.d.retire(ds.result(err))
+}
+
+// shutdown drains the shard at stop: leftover queued attaches retire
+// as ErrDraining without building (accounted, never lost), queued
+// detaches apply, every live session retires with partial results, and
+// the wheel is discarded.
+func (s *shard) shutdown() {
+	for {
+		c, ok := s.takeCmd()
+		if !ok {
+			break
+		}
+		if c.attach {
+			s.d.retire(&DeviceResult{ID: c.id, Stat: c.cfg.Stat, Err: ErrDraining})
+		} else if ds, live := s.sessions[c.id]; live {
+			s.remove(ds, nil)
+		} else {
+			obsAttachErrors.Inc()
+		}
+		s.pending.Add(-1)
+	}
+	for _, ds := range s.sessions {
+		s.wheel.Cancel(ds.timer)
+		ds.timer = nil
+		s.d.retire(ds.result(nil))
+	}
+	s.sessions = make(map[uint64]*deviceSession)
+	s.live.Store(0)
+	s.timers.Store(0)
+}
+
+// seedRNG builds the device's private RNG.
+func seedRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,140 @@
+package svc
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"chronos/internal/sim"
+	"chronos/internal/tof"
+	"chronos/internal/track"
+)
+
+// goldenEstimator is the fixture estimator config shared by the
+// sequential baseline and the daemon.
+func goldenEstimator() tof.Config {
+	return tof.Config{Mode: tof.BandsFused, Quirk24: true, MaxIter: 1200}
+}
+
+// goldenSession is the full steady-state session the daemon must
+// reproduce: moving target, warm starts, velocity translation, an
+// early-fix checkpoint.
+func goldenSession() track.SessionConfig {
+	return track.SessionConfig{
+		Speed:             1.2,
+		Sweeps:            3,
+		WarmStart:         true,
+		VelocityTranslate: true,
+		EarlyFixBands:     []int{8},
+	}
+}
+
+// svcFixTable renders a session result's fixes at full float precision
+// (same schema as the track golden harness) so runs compare
+// byte-for-byte.
+func svcFixTable(r *track.SessionResult) string {
+	var b strings.Builder
+	for _, f := range append(append([]track.Fix{}, r.EarlyFixes...), r.Fixes...) {
+		fmt.Fprintf(&b, "at=%d lat=%d bands=%d range=%x true=%x early=%v acc=%v\n",
+			f.At, f.Latency, f.Bands, f.Range, f.TrueRange, f.Early, f.Accepted)
+	}
+	return b.String()
+}
+
+// goldenOffice is the shared multipath world (read-only at run time, so
+// one office serves every run in the test).
+func goldenOffice() *sim.Office {
+	return sim.NewOffice(rand.New(rand.NewSource(3)), sim.OfficeConfig{})
+}
+
+// sequentialTraces runs K sessions back to back through track.RunSession
+// — the daemon-free reference — and returns fix tables keyed by device.
+func sequentialTraces(t *testing.T, office *sim.Office, seeds map[uint64]int64) map[uint64]string {
+	t.Helper()
+	out := make(map[uint64]string, len(seeds))
+	for id, seed := range seeds {
+		est := tof.NewEstimator(goldenEstimator())
+		r, err := track.RunSession(rand.New(rand.NewSource(seed)), office, est, goldenSession())
+		if err != nil {
+			t.Fatalf("sequential session %d: %v", id, err)
+		}
+		out[id] = svcFixTable(r)
+	}
+	return out
+}
+
+// daemonTraces runs the same fleet through a virtual-time daemon at the
+// given shard count and returns the fix tables.
+func daemonTraces(t *testing.T, office *sim.Office, seeds map[uint64]int64, shards int, coalesce bool) map[uint64]string {
+	t.Helper()
+	d := NewDaemon(Config{Shards: shards, Office: office, Virtual: true, Coalesce: coalesce})
+	for id, seed := range seeds {
+		if err := d.Attach(id, DeviceConfig{Seed: seed, Session: goldenSession(), Estimator: goldenEstimator()}); err != nil {
+			t.Fatalf("attach %d: %v", id, err)
+		}
+	}
+	if err := d.Quiesce(120 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	results := d.Results()
+	if _, err := d.Drain(10 * time.Second); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	out := make(map[uint64]string, len(results))
+	for id, r := range results {
+		if r.Err != nil {
+			t.Fatalf("device %d retired with error: %v", id, r.Err)
+		}
+		if r.Session == nil {
+			t.Fatalf("device %d has no session result", id)
+		}
+		out[id] = svcFixTable(r.Session)
+	}
+	return out
+}
+
+// TestDaemonGoldenTraceMatchesSequential is the service golden-trace
+// gate: a daemon running K full-pipeline devices on virtual time must
+// produce byte-identical fix tables to K sequential track.RunSession
+// calls with the same seeds — at 1 shard and at 8 shards (where the
+// fleet genuinely interleaves across goroutines, with the shared
+// coalescer armed). This is what licenses every later scheduling change:
+// the daemon may reorder work however it likes, but per-device results
+// are pinned.
+func TestDaemonGoldenTraceMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline fleet")
+	}
+	office := goldenOffice()
+	seeds := map[uint64]int64{1: 11, 2: 12, 3: 13, 4: 14}
+	want := sequentialTraces(t, office, seeds)
+	for id, tab := range want {
+		if tab == "" {
+			t.Fatalf("device %d: empty sequential fix table", id)
+		}
+	}
+
+	for _, tc := range []struct {
+		name     string
+		shards   int
+		coalesce bool
+	}{
+		{"1shard", 1, false},
+		{"8shards_coalesced", 8, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := daemonTraces(t, office, seeds, tc.shards, tc.coalesce)
+			if len(got) != len(want) {
+				t.Fatalf("daemon retired %d devices, want %d", len(got), len(want))
+			}
+			for id, tab := range want {
+				if got[id] != tab {
+					t.Errorf("device %d diverged from sequential run:\ndaemon:\n%s\nsequential:\n%s",
+						id, got[id], tab)
+				}
+			}
+		})
+	}
+}

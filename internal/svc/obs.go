@@ -1,0 +1,67 @@
+package svc
+
+import (
+	"sync/atomic"
+
+	"chronos/internal/obs"
+)
+
+// Service observability handles. Lifecycle counters count
+// scheduling-independent events, so their totals are deterministic at
+// any shard count; the fleet gauges are derived at snapshot time from
+// the most recently started daemon's atomic shard mirrors.
+var (
+	// obsAttaches counts accepted Attach calls.
+	obsAttaches = obs.NewCounter("svc.attaches")
+	// obsDetaches counts accepted Detach calls.
+	obsDetaches = obs.NewCounter("svc.detaches")
+	// obsRetired counts retired devices (completed, detached, drained,
+	// or failed).
+	obsRetired = obs.NewCounter("svc.retired")
+	// obsAttachErrors counts rejected lifecycle commands: duplicate
+	// attaches, detaches of unknown IDs, session build failures.
+	obsAttachErrors = obs.NewCounter("svc.attach_errors")
+	// obsDrains counts completed graceful drains.
+	obsDrains = obs.NewCounter("svc.drains")
+	// obsTimerFires counts wheel timer fires across all shards.
+	obsTimerFires = obs.NewCounter("svc.timer_fires")
+	// obsFullSweeps counts full-pipeline sweeps executed by the daemon.
+	obsFullSweeps = obs.NewCounter("svc.full_sweeps")
+	// obsStatFixes counts stat-device fixes executed by the daemon.
+	obsStatFixes = obs.NewCounter("svc.stat_fixes")
+
+	// obsSweepNs spans one full-pipeline sweep executed on a shard, in
+	// wall nanoseconds — the service's full-fix latency distribution.
+	obsSweepNs = obs.NewHist("svc.sweep_ns")
+	// obsStatFixNs spans one stat fix (walk advance, sensor draw, Kalman
+	// observe) in wall nanoseconds.
+	obsStatFixNs = obs.NewHist("svc.stat_fix_ns")
+
+	obsSessions    = obs.NewGauge("svc.sessions")
+	obsShards      = obs.NewGauge("svc.shards")
+	obsQueueDepth  = obs.NewGauge("svc.queue_depth")
+	obsWheelTimers = obs.NewGauge("svc.wheel_timers")
+)
+
+// currentDaemon is the daemon the snapshot gauges describe. The metric
+// registry is process-wide while daemons are per-instance, so the last
+// daemon started wins — in production there is exactly one; tests that
+// assert gauges start their daemon last.
+var currentDaemon atomic.Pointer[Daemon]
+
+func init() {
+	obs.OnSnapshot(func(s *obs.Snapshot) {
+		d := currentDaemon.Load()
+		if d == nil {
+			return
+		}
+		obsSessions.Set(float64(d.Sessions()))
+		obsShards.Set(float64(len(d.shards)))
+		obsQueueDepth.Set(float64(d.QueueDepth()))
+		obsWheelTimers.Set(float64(d.PendingTimers()))
+		s.Gauges["svc.sessions"] = obsSessions.Value()
+		s.Gauges["svc.shards"] = obsShards.Value()
+		s.Gauges["svc.queue_depth"] = obsQueueDepth.Value()
+		s.Gauges["svc.wheel_timers"] = obsWheelTimers.Value()
+	})
+}

@@ -176,6 +176,31 @@ func (r *planRegistry) stats() RegistryStats {
 // NewEstimator-built estimator resolves plans from.
 func SharedRegistryStats() RegistryStats { return sharedPlans.stats() }
 
+// setCap rebounds the registry to maxPlans (0 restores the default) and
+// evicts down to the new bound immediately. Returns the previous bound.
+func (r *planRegistry) setCap(maxPlans int) int {
+	if maxPlans <= 0 {
+		maxPlans = defaultMaxPlans
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	prev := r.maxPlans
+	r.maxPlans = maxPlans
+	r.evictLocked(nil)
+	return prev
+}
+
+// SetSharedPlanCap rebounds the process-wide plan registry and returns
+// the previous bound, evicting least-recently-used plans immediately if
+// the new bound is tighter. Shrinking the cap is an operational lever
+// (and a test lever: the service soak pins registry-eviction behavior
+// under churn by forcing a tiny bound); correctness is unaffected either
+// way — an evicted geometry simply rebuilds on next use. Callers should
+// restore the previous bound when done:
+//
+//	defer tof.SetSharedPlanCap(tof.SetSharedPlanCap(8))
+func SetSharedPlanCap(maxPlans int) int { return sharedPlans.setCap(maxPlans) }
+
 // size reports how many distinct geometries the registry holds.
 func (r *planRegistry) size() int {
 	r.mu.RLock()

@@ -202,6 +202,53 @@ func TestPlanRegistryLRUEviction(t *testing.T) {
 	}
 }
 
+// TestSetCapRebounds pins the runtime rebound lever the service soak
+// leans on: shrinking the cap evicts down to the new bound immediately,
+// the previous bound is returned for restore, and growing it back does
+// not resurrect evicted entries.
+func TestSetCapRebounds(t *testing.T) {
+	reg := newPlanRegistry(4)
+	build := func(maxTau float64) func() (*ndft.Plan, error) {
+		return func() (*ndft.Plan, error) {
+			return ndft.NewPlan([]float64{5.18e9, 5.2e9, 5.22e9}, ndft.TauGrid(maxTau, 1e-9))
+		}
+	}
+	for i := 0; i < 4; i++ {
+		maxTau := float64(i+1) * 10e-9
+		k := newPlanKey([]float64{5.18e9, 5.2e9, 5.22e9}, 2, maxTau, 1e-9)
+		if _, err := reg.planFor(k, build(maxTau)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if prev := reg.setCap(2); prev != 4 {
+		t.Errorf("setCap returned %d, want previous bound 4", prev)
+	}
+	st := reg.stats()
+	if st.Plans != 2 || st.MaxPlans != 2 || st.Evictions != 2 {
+		t.Errorf("after shrink: plans=%d max=%d evictions=%d, want 2/2/2", st.Plans, st.MaxPlans, st.Evictions)
+	}
+	if prev := reg.setCap(0); prev != 2 {
+		t.Errorf("setCap(0) returned %d, want 2", prev)
+	}
+	if st = reg.stats(); st.MaxPlans != defaultMaxPlans || st.Plans != 2 {
+		t.Errorf("after restore: plans=%d max=%d, want 2 resident at default bound", st.Plans, st.MaxPlans)
+	}
+}
+
+// TestSetSharedPlanCap exercises the exported lever on the process-wide
+// registry, restoring the bound afterward so other tests are unaffected.
+func TestSetSharedPlanCap(t *testing.T) {
+	prev := SetSharedPlanCap(7)
+	defer SetSharedPlanCap(prev)
+	if got := SharedRegistryStats().MaxPlans; got != 7 {
+		t.Errorf("shared MaxPlans = %d, want 7", got)
+	}
+	if back := SetSharedPlanCap(prev); back != 7 {
+		t.Errorf("restore returned %d, want 7", back)
+	}
+	SetSharedPlanCap(prev)
+}
+
 // TestPlanRegistryEvictionUnderRace hammers a bound-1 registry from many
 // goroutines over more geometries than it can hold: every caller must
 // still get a plan with its own geometry (an in-flight holder of an

@@ -1,6 +1,7 @@
 package track
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"time"
@@ -26,6 +27,9 @@ type SessionConfig struct {
 	// a static baseline.
 	Speed float64
 	// Sweeps is the number of full band sweeps to stream (default 6).
+	// Negative means unbounded: the session never reports Done and runs
+	// until its owner stops stepping it — the mode the always-on service
+	// daemon uses. RunSession treats a negative count as zero sweeps.
 	Sweeps int
 	// PairsPerBand is the CSI pairs captured per band dwell (default 2).
 	PairsPerBand int
@@ -115,6 +119,230 @@ type SessionResult struct {
 	Duration    time.Duration
 }
 
+// Session is one streaming tracking session in steppable form: the same
+// pipeline RunSession runs — calibration, then full band sweeps over a
+// moving target, each ending in a Kalman-filtered fix — but one sweep
+// per StepSweep call, so an external scheduler (the chronos-svc shard
+// loops, driven by their timer wheels) can interleave thousands of
+// sessions and pace them on wall or virtual time. Each session owns all
+// of its mutable state (walk, radios, MAC simulator, warm solver seeds,
+// Kalman tracker) and draws every random value from the rng it was built
+// with, so stepping K sessions in any interleaving produces exactly the
+// per-session outputs of K sequential RunSession calls with the same
+// seeds. A Session is not safe for concurrent use; step it from one
+// goroutine at a time.
+type Session struct {
+	cfg    SessionConfig
+	rng    *rand.Rand
+	office *sim.Office
+	est    *tof.Estimator
+	bands  []wifi.Band
+
+	roomOrigin geo.Point
+	anchor     geo.Point
+	walk       *drone.Walk
+	link       *csi.Link
+	offset     float64
+
+	msim    *mac.Sim
+	hopper  *hop.Hopper
+	hcfg    hop.Config
+	tracker *RangeTracker
+	acc     *tof.Sweep
+
+	res             *SessionResult
+	walkedTo        float64
+	rawSq, smoothSq float64
+	prevFixAt       time.Duration
+	havePrevFix     bool
+	sweeps          int // completed sweeps
+}
+
+// NewSession builds and calibrates a steppable session. It performs the
+// same setup as RunSession's preamble — room geometry, fresh radios, the
+// one-time LOS reference calibration (§7 observation 2) — consuming rng
+// identically, so a Session stepped to completion reproduces RunSession
+// byte for byte. The estimator is left as it found it apart from the
+// shared plan registry warming; only Calibrate requires est to stay on
+// one goroutine for the duration of this call.
+func NewSession(rng *rand.Rand, office *sim.Office, est *tof.Estimator, cfg SessionConfig) (*Session, error) {
+	cfg = cfg.withDefaults()
+	s := &Session{
+		cfg: cfg, rng: rng, office: office, est: est,
+		bands: tof.BandsFor(est.Config()),
+		res:   &SessionResult{},
+	}
+
+	// The target random-waypoint-walks a room centered on the office
+	// floor; the anchor sits at the room's corner.
+	roomW := math.Min(cfg.RoomW, office.Width-2)
+	roomH := math.Min(cfg.RoomH, office.Height-2)
+	s.roomOrigin = geo.Point{X: (office.Width - roomW) / 2, Y: (office.Height - roomH) / 2}
+	s.anchor = s.roomOrigin
+	s.walk = drone.NewWalk(rng, roomW, roomH)
+	s.walk.Speed = cfg.Speed
+
+	// Fresh radios for this device pair.
+	tx, rx := csi.NewRadio(rng), csi.NewRadio(rng)
+	quirk := est.Config().Quirk24
+	tx.Quirk24, rx.Quirk24 = quirk, quirk
+	s.link = &csi.Link{TX: tx, RX: rx}
+
+	// One-time calibration of the pair at a known LOS reference placement
+	// (§7 observation 2), exactly as the batch campaigns calibrate.
+	calP := office.RandomPlacement(rng, 8, false)
+	s.link.Channel = office.Channel(calP, 5.5e9)
+	s.link.SNRdB = sim.LinkSNR(0, calP.TrueDistance(), false)
+	calSweep := s.link.Sweep(rng, s.bands, 3, 2.4e-3)
+	offset, err := tof.Calibrate(est, s.bands, calSweep, calP.TrueDistance())
+	if err != nil {
+		return nil, err
+	}
+	s.offset = offset
+
+	s.msim = mac.NewSim()
+	s.hopper = hop.NewHopper(s.msim, rng, cfg.Hop)
+	s.hcfg = s.hopper.Cfg
+	s.tracker = NewRangeTracker(cfg.Filter)
+	s.acc = est.NewSweep()
+	s.acc.SetWarmStart(cfg.WarmStart)
+	return s, nil
+}
+
+// targetAt advances the walk to virtual time now and returns the
+// target's office-frame position.
+func (s *Session) targetAt(now time.Duration) geo.Point {
+	if t := now.Seconds(); t > s.walkedTo {
+		s.walk.Advance(t - s.walkedTo)
+		s.walkedTo = t
+	}
+	p := s.walk.Pos()
+	return geo.Point{X: s.roomOrigin.X + p.X, Y: s.roomOrigin.Y + p.Y}
+}
+
+// Now is the session's virtual protocol time: how far its MAC timeline
+// has advanced. Schedulers pace a session by mapping this onto their own
+// clock (the daemon maps it to wall time; tests leave it virtual).
+func (s *Session) Now() time.Duration { return s.msim.Now() }
+
+// Sweeps reports how many full sweeps have completed.
+func (s *Session) Sweeps() int { return s.sweeps }
+
+// Done reports whether the configured sweep budget is exhausted. A
+// session built with SessionConfig.Sweeps < 0 is never done; its owner
+// decides when to stop stepping it.
+func (s *Session) Done() bool { return s.cfg.Sweeps >= 0 && s.sweeps >= s.cfg.Sweeps }
+
+// ErrSessionDone is returned by StepSweep after the sweep budget is
+// exhausted.
+var ErrSessionDone = errors.New("track: session already ran its configured sweeps")
+
+// StepSweep streams one full band sweep: band-by-band CSI capture while
+// the target keeps walking, hop-protocol timing on the session's virtual
+// MAC timeline, early checkpoint fixes, and the final Kalman-filtered
+// fix with warm-seed bookkeeping. It is exactly one iteration of
+// RunSession's sweep loop, including the inter-sweep hop back to the
+// first band when more sweeps remain.
+func (s *Session) StepSweep() error {
+	if s.Done() {
+		return ErrSessionDone
+	}
+	cfg := s.cfg
+	s.acc.Reset()
+	start := s.msim.Now()
+	sweepTick := obs.Tick()
+	checkpoint := 0
+	for bi, b := range s.bands {
+		// The channel follows the target band by band: motion during
+		// the sweep is exactly what blurs high-speed tracking.
+		pos := s.targetAt(s.msim.Now())
+		pl := sim.Placement{TX: s.anchor, RX: pos, NLOS: cfg.NLOS}
+		s.link.Channel = s.office.Channel(pl, 5.5e9)
+		s.link.SNRdB = sim.LinkSNR(0, pl.TrueDistance(), cfg.NLOS)
+
+		step := s.hcfg.Dwell.Seconds() / float64(cfg.PairsPerBand+1)
+		pairs := make([]csi.Pair, cfg.PairsPerBand)
+		for pi := range pairs {
+			pairs[pi] = s.link.MeasurePair(s.rng, b, s.msim.Now().Seconds()+float64(pi+1)*step)
+		}
+		s.msim.Run(s.msim.Now() + s.hcfg.Dwell)
+		if err := s.acc.AddBand(b, pairs); err != nil {
+			return err
+		}
+
+		if checkpoint < len(cfg.EarlyFixBands) && s.acc.Bands() >= cfg.EarlyFixBands[checkpoint] && bi+1 < len(s.bands) {
+			if r, err := s.acc.Estimate(); err == nil {
+				raw := r.Distance - s.offset*wifi.SpeedOfLight
+				s.res.EarlyFixes = append(s.res.EarlyFixes, Fix{
+					At: s.msim.Now(), Latency: s.msim.Now() - start, Bands: s.acc.Bands(),
+					Range: raw, Smoothed: raw,
+					TrueRange: s.anchor.Dist(s.targetAt(s.msim.Now())), Early: true,
+				})
+				obsEarlyFixes.Inc()
+			}
+			checkpoint++
+		}
+		if bi+1 < len(s.bands) {
+			s.hopper.Hop(func(retries, failsafes int) {})
+			s.msim.RunAll()
+		}
+	}
+
+	obsStageSweepNs.Since(sweepTick)
+	if r, err := s.acc.Estimate(); err == nil {
+		raw := r.Distance - s.offset*wifi.SpeedOfLight
+		now := s.msim.Now()
+		truth := s.anchor.Dist(s.targetAt(now))
+		kalmanTick := obs.Tick()
+		smoothed, accepted := s.tracker.Observe(now, raw)
+		obsStageKalmanNs.Since(kalmanTick)
+		recordFix(int64(now-start), accepted, r.Converged)
+		s.res.Fixes = append(s.res.Fixes, Fix{
+			At: now, Latency: now - start, Bands: s.acc.Bands(),
+			Range: raw, Smoothed: smoothed, TrueRange: truth, Accepted: accepted,
+			Work: r.Work, Converged: r.Converged, BatchSize: r.BatchSize,
+		})
+		if !r.Converged {
+			s.res.CappedFixes++
+		}
+		s.rawSq += (raw - truth) * (raw - truth)
+		s.smoothSq += (smoothed - truth) * (smoothed - truth)
+		if cfg.WarmStart && cfg.VelocityTranslate && s.havePrevFix {
+			// Predict the delay drift the next sweep will see: the
+			// filter's radial velocity over one inter-fix interval
+			// (sweep cadence is steady, so the last interval is the
+			// forecast), converted to seconds of τ. Shift the warm
+			// seeds so the restricted working set is already centered
+			// when the next inversion starts.
+			dt := (now - s.prevFixAt).Seconds()
+			s.acc.TranslateWarm(s.tracker.Velocity() * dt / wifi.SpeedOfLight)
+		}
+		s.prevFixAt, s.havePrevFix = now, true
+	}
+	if cfg.Sweeps < 0 || s.sweeps+1 < cfg.Sweeps {
+		// Hop back to the first band for the next cycle.
+		s.hopper.Hop(func(retries, failsafes int) {})
+		s.msim.RunAll()
+	}
+	s.sweeps++
+	return nil
+}
+
+// Result finalizes and returns the session's accumulated output. The
+// returned value is the session's own result struct, refreshed on every
+// call, so it can be taken mid-stream (a drain snapshot) or after Done.
+func (s *Session) Result() *SessionResult {
+	s.res.Duration = s.msim.Now()
+	s.res.Rejected = s.tracker.Rejected
+	if n := float64(len(s.res.Fixes)); n > 0 {
+		s.res.RawRMSE = math.Sqrt(s.rawSq / n)
+		s.res.SmoothedRMSE = math.Sqrt(s.smoothSq / n)
+	} else {
+		s.res.RawRMSE, s.res.SmoothedRMSE = math.NaN(), math.NaN()
+	}
+	return s.res
+}
+
 // RunSession streams cfg.Sweeps full band sweeps over a moving target in
 // the office and returns the resulting fixes. The session leaves est as
 // it found it: tof.Calibrate briefly rewrites (and restores) the
@@ -123,145 +351,20 @@ type SessionResult struct {
 // (solver state lives in the registry), so campaign workers simply
 // construct one per trial; only Calibrate requires the estimator to stay
 // on one goroutine for the duration of the call.
+//
+// RunSession is the sequential wrapper over the steppable Session: it
+// builds one and steps it to completion. The chronos-svc daemon steps
+// the same Session type from its shard timer wheels, which is what makes
+// the daemon's per-device fixes byte-identical to this call.
 func RunSession(rng *rand.Rand, office *sim.Office, est *tof.Estimator, cfg SessionConfig) (*SessionResult, error) {
-	cfg = cfg.withDefaults()
-	bands := tof.BandsFor(est.Config())
-
-	// The target random-waypoint-walks a room centered on the office
-	// floor; the anchor sits at the room's corner.
-	roomW := math.Min(cfg.RoomW, office.Width-2)
-	roomH := math.Min(cfg.RoomH, office.Height-2)
-	roomOrigin := geo.Point{X: (office.Width - roomW) / 2, Y: (office.Height - roomH) / 2}
-	anchor := roomOrigin
-	walk := drone.NewWalk(rng, roomW, roomH)
-	walk.Speed = cfg.Speed
-
-	// Fresh radios for this device pair.
-	tx, rx := csi.NewRadio(rng), csi.NewRadio(rng)
-	quirk := est.Config().Quirk24
-	tx.Quirk24, rx.Quirk24 = quirk, quirk
-	link := &csi.Link{TX: tx, RX: rx}
-
-	// One-time calibration of the pair at a known LOS reference placement
-	// (§7 observation 2), exactly as the batch campaigns calibrate.
-	calP := office.RandomPlacement(rng, 8, false)
-	link.Channel = office.Channel(calP, 5.5e9)
-	link.SNRdB = sim.LinkSNR(0, calP.TrueDistance(), false)
-	calSweep := link.Sweep(rng, bands, 3, 2.4e-3)
-	offset, err := tof.Calibrate(est, bands, calSweep, calP.TrueDistance())
+	s, err := NewSession(rng, office, est, cfg)
 	if err != nil {
 		return nil, err
 	}
-
-	msim := mac.NewSim()
-	hopper := hop.NewHopper(msim, rng, cfg.Hop)
-	hcfg := hopper.Cfg
-	tracker := NewRangeTracker(cfg.Filter)
-	acc := est.NewSweep()
-	acc.SetWarmStart(cfg.WarmStart)
-	res := &SessionResult{}
-
-	// targetAt advances the walk to virtual time now and returns the
-	// target's office-frame position.
-	walkedTo := 0.0
-	targetAt := func(now time.Duration) geo.Point {
-		if t := now.Seconds(); t > walkedTo {
-			walk.Advance(t - walkedTo)
-			walkedTo = t
-		}
-		p := walk.Pos()
-		return geo.Point{X: roomOrigin.X + p.X, Y: roomOrigin.Y + p.Y}
-	}
-
-	var rawSq, smoothSq float64
-	var prevFixAt time.Duration
-	havePrevFix := false
-	for sweep := 0; sweep < cfg.Sweeps; sweep++ {
-		acc.Reset()
-		start := msim.Now()
-		sweepTick := obs.Tick()
-		checkpoint := 0
-		for bi, b := range bands {
-			// The channel follows the target band by band: motion during
-			// the sweep is exactly what blurs high-speed tracking.
-			pos := targetAt(msim.Now())
-			pl := sim.Placement{TX: anchor, RX: pos, NLOS: cfg.NLOS}
-			link.Channel = office.Channel(pl, 5.5e9)
-			link.SNRdB = sim.LinkSNR(0, pl.TrueDistance(), cfg.NLOS)
-
-			step := hcfg.Dwell.Seconds() / float64(cfg.PairsPerBand+1)
-			pairs := make([]csi.Pair, cfg.PairsPerBand)
-			for pi := range pairs {
-				pairs[pi] = link.MeasurePair(rng, b, msim.Now().Seconds()+float64(pi+1)*step)
-			}
-			msim.Run(msim.Now() + hcfg.Dwell)
-			if err := acc.AddBand(b, pairs); err != nil {
-				return nil, err
-			}
-
-			if checkpoint < len(cfg.EarlyFixBands) && acc.Bands() >= cfg.EarlyFixBands[checkpoint] && bi+1 < len(bands) {
-				if r, err := acc.Estimate(); err == nil {
-					raw := r.Distance - offset*wifi.SpeedOfLight
-					res.EarlyFixes = append(res.EarlyFixes, Fix{
-						At: msim.Now(), Latency: msim.Now() - start, Bands: acc.Bands(),
-						Range: raw, Smoothed: raw,
-						TrueRange: anchor.Dist(targetAt(msim.Now())), Early: true,
-					})
-					obsEarlyFixes.Inc()
-				}
-				checkpoint++
-			}
-			if bi+1 < len(bands) {
-				hopper.Hop(func(retries, failsafes int) {})
-				msim.RunAll()
-			}
-		}
-
-		obsStageSweepNs.Since(sweepTick)
-		if r, err := acc.Estimate(); err == nil {
-			raw := r.Distance - offset*wifi.SpeedOfLight
-			now := msim.Now()
-			truth := anchor.Dist(targetAt(now))
-			kalmanTick := obs.Tick()
-			smoothed, accepted := tracker.Observe(now, raw)
-			obsStageKalmanNs.Since(kalmanTick)
-			recordFix(int64(now-start), accepted, r.Converged)
-			res.Fixes = append(res.Fixes, Fix{
-				At: now, Latency: now - start, Bands: acc.Bands(),
-				Range: raw, Smoothed: smoothed, TrueRange: truth, Accepted: accepted,
-				Work: r.Work, Converged: r.Converged, BatchSize: r.BatchSize,
-			})
-			if !r.Converged {
-				res.CappedFixes++
-			}
-			rawSq += (raw - truth) * (raw - truth)
-			smoothSq += (smoothed - truth) * (smoothed - truth)
-			if cfg.WarmStart && cfg.VelocityTranslate && havePrevFix {
-				// Predict the delay drift the next sweep will see: the
-				// filter's radial velocity over one inter-fix interval
-				// (sweep cadence is steady, so the last interval is the
-				// forecast), converted to seconds of τ. Shift the warm
-				// seeds so the restricted working set is already centered
-				// when the next inversion starts.
-				dt := (now - prevFixAt).Seconds()
-				acc.TranslateWarm(tracker.Velocity() * dt / wifi.SpeedOfLight)
-			}
-			prevFixAt, havePrevFix = now, true
-		}
-		if sweep+1 < cfg.Sweeps {
-			// Hop back to the first band for the next cycle.
-			hopper.Hop(func(retries, failsafes int) {})
-			msim.RunAll()
+	for i := 0; i < s.cfg.Sweeps; i++ {
+		if err := s.StepSweep(); err != nil {
+			return nil, err
 		}
 	}
-
-	res.Duration = msim.Now()
-	res.Rejected = tracker.Rejected
-	if n := float64(len(res.Fixes)); n > 0 {
-		res.RawRMSE = math.Sqrt(rawSq / n)
-		res.SmoothedRMSE = math.Sqrt(smoothSq / n)
-	} else {
-		res.RawRMSE, res.SmoothedRMSE = math.NaN(), math.NaN()
-	}
-	return res, nil
+	return s.Result(), nil
 }
