@@ -77,6 +77,13 @@ var figures = []struct {
 	// explicit-only like perf; servicescaled is the CI-sized variant.
 	{key: "service", fn: exp.PerfService, explicitOnly: true},
 	{key: "servicescaled", fn: exp.PerfServiceScaled, explicitOnly: true},
+	// pipeline is the staged-pipeline latency-isolation campaign (PR 10):
+	// a latency-class stream under a bulk-class swarm, run through the
+	// classic inline shard sweeps and again through the disaggregated
+	// ingest/solve/track pools with the class queue and gap-boundary
+	// preemption, comparing per-class p99 inter-fix gaps (BENCH_9.json).
+	// Wall-clock columns, so explicit-only like perf.
+	{key: "pipeline", fn: exp.PerfPipeline, explicitOnly: true},
 }
 
 var ablations = []struct {

@@ -6,6 +6,8 @@
 //	chronos-svc                          # 4 shards, synthetic demo fleet, wall time
 //	chronos-svc -shards 8 -devices 16    # full-pipeline fleet size
 //	chronos-svc -stat-devices 5000      # statistical ranging fleet size
+//	chronos-svc -pipeline                # staged ingest/solve/track worker pools
+//	chronos-svc -bulk-devices 24         # bulk-class full devices (yield to latency class)
 //	chronos-svc -virtual                 # virtual time (as fast as the host allows)
 //	chronos-svc -metrics :6060           # REQUIRED for observability: /metrics + pprof
 //	chronos-svc -watch 1s                # live fix-rate line on stderr
@@ -39,8 +41,11 @@ import (
 
 func main() {
 	shards := flag.Int("shards", 4, "worker-shard count (devices hash to shards by ID)")
-	devices := flag.Int("devices", 4, "full-pipeline devices in the synthetic fleet")
+	devices := flag.Int("devices", 4, "latency-class full-pipeline devices in the synthetic fleet")
+	bulkDevices := flag.Int("bulk-devices", 0, "bulk-class full-pipeline devices in the synthetic fleet")
 	statDevices := flag.Int("stat-devices", 64, "statistical ranging devices in the synthetic fleet")
+	pipeline := flag.Bool("pipeline", false, "run sweeps through the staged pipeline (ingest/solve/track pools) instead of inline on shards")
+	preempt := flag.Bool("preempt", true, "with -pipeline: latency-class work preempts in-flight bulk solves at gap checks")
 	speed := flag.Float64("speed", 1.0, "device walk speed in m/s")
 	sweeps := flag.Int("sweeps", -1, "full sweeps per device (-1 = track until drain)")
 	seed := flag.Int64("seed", 1, "fleet seed (per-device RNGs derive from it)")
@@ -78,11 +83,12 @@ func main() {
 		Office:   office,
 		Virtual:  *virtual,
 		Coalesce: *coalesce,
+		Pipeline: svc.PipelineConfig{Enabled: *pipeline, Preempt: *preempt},
 	})
 
-	for i := 0; i < *devices; i++ {
-		err := d.Attach(uint64(1+i), svc.DeviceConfig{
-			Seed: rng.Int63(),
+	attachFull := func(id uint64, class svc.Class) {
+		err := d.Attach(id, svc.DeviceConfig{
+			Seed: rng.Int63(), Class: class,
 			Session: track.SessionConfig{
 				Speed: *speed, Sweeps: *sweeps,
 				WarmStart: true, VelocityTranslate: true,
@@ -94,6 +100,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	for i := 0; i < *devices; i++ {
+		attachFull(uint64(1+i), svc.ClassLatency)
+	}
+	for i := 0; i < *bulkDevices; i++ {
+		attachFull(uint64(1<<16+i), svc.ClassBulk)
+	}
 	for i := 0; i < *statDevices; i++ {
 		err := d.Attach(uint64(1<<20+i), svc.DeviceConfig{
 			Seed: rng.Int63(), Stat: true, Speed: *speed,
@@ -103,8 +115,8 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "chronos-svc: %d shards, %d full + %d stat devices\n",
-		*shards, *devices, *statDevices)
+	fmt.Fprintf(os.Stderr, "chronos-svc: %d shards, %d latency + %d bulk full + %d stat devices (pipeline=%v)\n",
+		*shards, *devices, *bulkDevices, *statDevices, *pipeline)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

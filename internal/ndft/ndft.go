@@ -140,6 +140,18 @@ type InvertOptions struct {
 	// The fixed points are identical; the refinements only reach them in
 	// far fewer iterations on the highly coherent NDFT dictionary.
 	PlainISTA bool
+	// Preempt, when non-nil, is polled at the duality-gap check cadence
+	// of the main and cold-fallback iterate phases (never mid-iteration,
+	// never during a polish). When it returns true the solve parks: it
+	// stops immediately and returns its current iterate with
+	// Result.Parked set. A parked result is a resume seed, not an answer
+	// — its profile has not been KKT-audited or polished — and is meant
+	// to be passed back as SolveRequest.Warm, which resumes the
+	// optimization from the parked restricted support. Schedulers use
+	// this to yield a long bulk solve to latency-class work at a cheap
+	// boundary. Nil (the default) disables polling; results are then
+	// byte-identical to builds without this field.
+	Preempt func() bool
 }
 
 func (o InvertOptions) withDefaults(h dsp.Vec) InvertOptions {
@@ -179,6 +191,11 @@ type Result struct {
 	// iteration). Callers use it to compare warm against cold solves on
 	// actual cost rather than raw iteration counts.
 	Work int64
+	// Parked reports that the solve was preempted (InvertOptions.Preempt
+	// fired at a gap-check boundary) and returned its in-progress iterate
+	// instead of a converged answer. Parked implies !Converged; resume by
+	// re-solving with Profile as the warm start.
+	Parked bool
 }
 
 // Invert runs Algorithm 1: proximal-gradient (ISTA) iterations

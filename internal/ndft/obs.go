@@ -26,6 +26,9 @@ var (
 	// obsSolveKKTFallbacks counts restricted warm solves whose KKT
 	// audit failed, forcing the transparent cold full-grid fallback.
 	obsSolveKKTFallbacks = obs.NewCounter("ndft.solve.kkt_fallbacks")
+	// obsSolveParked counts requests preempted at a gap-check boundary
+	// (InvertOptions.Preempt fired; the caller holds a resume seed).
+	obsSolveParked = obs.NewCounter("ndft.solve.parked")
 	// obsBatchWidth is the distribution of SolveBatch widths (B).
 	obsBatchWidth = obs.NewHist("ndft.solve.batch_width")
 	// obsBatchWallNs is wall time per SolveBatch call, nanoseconds.
@@ -58,11 +61,13 @@ func init() {
 // Called once per SolveBatch with the task array still live; allocates
 // nothing.
 func recordBatch(tasks []solveTask, wallStart int64) {
-	var iters, gapStops, capped, fellBack int64
+	var iters, gapStops, capped, fellBack, parked int64
 	for i := range tasks {
 		t := &tasks[i]
 		iters += int64(t.res.Iterations)
-		if !t.res.Converged {
+		if t.res.Parked {
+			parked++
+		} else if !t.res.Converged {
 			capped++
 		}
 		if t.everGap {
@@ -77,6 +82,7 @@ func recordBatch(tasks []solveTask, wallStart int64) {
 	obsSolveGapStops.Add(gapStops)
 	obsSolveCapped.Add(capped)
 	obsSolveKKTFallbacks.Add(fellBack)
+	obsSolveParked.Add(parked)
 	obsBatchWidth.Observe(float64(len(tasks)))
 	obsBatchWallNs.Since(wallStart)
 }

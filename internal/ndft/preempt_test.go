@@ -1,0 +1,154 @@
+package ndft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chronos/internal/dsp"
+	"chronos/internal/wifi"
+)
+
+// preemptFixture builds a plan and a noisy two-path measurement of the
+// kind a bulk tracking stream solves: enough noise that a cold solve
+// runs well past the first gap-check boundary.
+func preemptFixture(t testing.TB) (*Plan, dsp.Vec, InvertOptions) {
+	t.Helper()
+	freqs := wifi.Centers(wifi.Bands5GHz())
+	pl, err := NewPlan(freqs, TauGrid(20e-9, 0.5e-9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := pl.Dims()
+	rng := rand.New(rand.NewSource(23))
+	h := synthChannel(freqs, []float64{7, 11.2}, []float64{1, 0.6})
+	for i := range h {
+		h[i] += complex(rng.NormFloat64()*0.05, rng.NormFloat64()*0.05)
+	}
+	wNorm := 0.05 * math.Sqrt(2*float64(n))
+	return pl, h, InvertOptions{MaxIter: 4000, NoiseFloor: wNorm}
+}
+
+// TestSolvePark pins the park contract: with a hook that always asks to
+// yield, the solve stops at the first check boundary with the phase's
+// iterations booked, Parked set, Converged clear, and a non-empty
+// iterate to resume from.
+func TestSolvePark(t *testing.T) {
+	pl, h, opts := preemptFixture(t)
+	opts.Preempt = func() bool { return true }
+	res, err := pl.Solve(SolveRequest{H: h, InvertOptions: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Parked || res.Converged {
+		t.Fatalf("Parked=%v Converged=%v, want parked and not converged", res.Parked, res.Converged)
+	}
+	if res.Iterations != gapEvery {
+		t.Errorf("parked after %d iterations, want the first check boundary (%d)", res.Iterations, gapEvery)
+	}
+	nz := 0
+	for _, v := range res.Profile {
+		if v != 0 {
+			nz++
+		}
+	}
+	if nz == 0 {
+		t.Error("parked iterate is empty; nothing to resume from")
+	}
+}
+
+// TestSolveParkResume proves a parked solve is resumable: seeding a
+// fresh solve with the parked profile must land on the same fix as the
+// never-preempted reference (same first-peak delay, matching residual),
+// in fewer iterations than a cold start — the restricted-support resume
+// the scheduler's preemption relies on.
+func TestSolveParkResume(t *testing.T) {
+	pl, h, opts := preemptFixture(t)
+
+	ref, err := pl.Solve(SolveRequest{H: append(dsp.Vec(nil), h...), InvertOptions: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Converged {
+		t.Fatal("reference solve did not converge; fixture too noisy")
+	}
+
+	popts := opts
+	popts.Preempt = func() bool { return true }
+	parked, err := pl.Solve(SolveRequest{H: append(dsp.Vec(nil), h...), InvertOptions: popts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parked.Parked {
+		t.Fatal("solve did not park")
+	}
+
+	seed := append(dsp.Vec(nil), parked.Profile...)
+	resumed, err := pl.Solve(SolveRequest{H: append(dsp.Vec(nil), h...), Warm: seed, InvertOptions: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.Converged {
+		t.Fatal("resumed solve did not converge")
+	}
+	refPeak, ok1 := ref.FirstPeakDelay(0.15)
+	resPeak, ok2 := resumed.FirstPeakDelay(0.15)
+	if !ok1 || !ok2 {
+		t.Fatalf("missing first peak: ref ok=%v resumed ok=%v", ok1, ok2)
+	}
+	if math.Abs(refPeak-resPeak) > 0.5e-9 {
+		t.Errorf("resumed first peak %v, reference %v (off by more than one grid cell)", resPeak, refPeak)
+	}
+	if resumed.Residual > 1.5*ref.Residual {
+		t.Errorf("resumed residual %v far above reference %v", resumed.Residual, ref.Residual)
+	}
+	if parked.Iterations+resumed.Iterations >= 4000 {
+		t.Errorf("park+resume consumed %d+%d iterations; resume did not exploit the parked support",
+			parked.Iterations, resumed.Iterations)
+	}
+}
+
+// TestSolveParkLater checks the poll cadence: a hook that yields only
+// after the second boundary parks at a later check, and a hook that
+// never fires leaves the result bit-identical to a solve with no hook
+// at all.
+func TestSolveParkLater(t *testing.T) {
+	pl, h, opts := preemptFixture(t)
+
+	polls := 0
+	lopts := opts
+	lopts.Preempt = func() bool { polls++; return polls > 2 }
+	res, err := pl.Solve(SolveRequest{H: append(dsp.Vec(nil), h...), InvertOptions: lopts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parked && res.Iterations <= gapEvery {
+		t.Errorf("parked at iteration %d despite the hook passing the first two polls", res.Iterations)
+	}
+
+	ref, err := pl.Solve(SolveRequest{H: append(dsp.Vec(nil), h...), InvertOptions: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nopts := opts
+	nopts.Preempt = func() bool { return false }
+	same, err := pl.Solve(SolveRequest{H: append(dsp.Vec(nil), h...), InvertOptions: nopts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Parked {
+		t.Fatal("never-firing hook parked the solve")
+	}
+	if len(same.Profile) != len(ref.Profile) {
+		t.Fatalf("profile length %d vs %d", len(same.Profile), len(ref.Profile))
+	}
+	for j := range same.Profile {
+		if same.Profile[j] != ref.Profile[j] {
+			t.Fatalf("cell %d: %v != %v — an idle hook must not change results", j, same.Profile[j], ref.Profile[j])
+		}
+	}
+	if same.Iterations != ref.Iterations || same.Converged != ref.Converged {
+		t.Fatalf("telemetry diverged: iters %d/%d converged %v/%v",
+			same.Iterations, ref.Iterations, same.Converged, ref.Converged)
+	}
+}

@@ -44,6 +44,10 @@ type Config struct {
 	// (default 1024). Attach blocks when the owning shard's queue is
 	// full — backpressure, not loss.
 	QueueDepth int
+	// Pipeline configures the staged execution pipeline (see
+	// pipeline.go). Disabled by default: full sweeps then run inline on
+	// their shard goroutine, the classic run-to-completion path.
+	Pipeline PipelineConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +75,13 @@ type DeviceConfig struct {
 	// exactly as track.RunMulti's sensor mode. Default is the full
 	// pipeline.
 	Stat bool
+	// Class is the device's scheduling class in the staged pipeline
+	// (default ClassLatency). Bulk-class full devices yield the solve
+	// stage to latency-class work and are preemptible mid-solve when
+	// PipelineConfig.Preempt is armed. Ignored on the classic inline
+	// path except for metric attribution, and by stat devices (their
+	// fixes are too cheap to stage — they stay inline on their shard).
+	Class Class
 
 	// Session configures a full-pipeline device (track.Session).
 	// Session.Sweeps < 0 keeps the device tracked until detach or drain.
@@ -121,13 +132,18 @@ var (
 type Daemon struct {
 	cfg       Config
 	coalescer *tof.Coalescer
+	pipe      *pipeline // nil unless cfg.Pipeline.Enabled
 	shards    []*shard
 	start     time.Time
 
 	mu       sync.Mutex
 	draining bool
-	results  map[uint64]*DeviceResult
 	wg       sync.WaitGroup
+
+	// results retains every drained retirement; shards publish onto
+	// their own lock-free stacks and Results() merges them here.
+	resMu   sync.Mutex
+	results map[uint64]*DeviceResult
 
 	stopCh chan struct{}
 }
@@ -144,6 +160,9 @@ func NewDaemon(cfg Config) *Daemon {
 	}
 	if cfg.Coalesce {
 		d.coalescer = tof.NewCoalescer(cfg.CoalescerConfig)
+	}
+	if cfg.Pipeline.Enabled {
+		d.pipe = newPipeline(d, cfg.Pipeline)
 	}
 	d.shards = make([]*shard, cfg.Shards)
 	for i := range d.shards {
@@ -220,19 +239,26 @@ func (d *Daemon) Detach(id uint64) error {
 	}
 }
 
-// retire records a finished device. Called from shard goroutines.
-func (d *Daemon) retire(r *DeviceResult) {
-	d.mu.Lock()
-	d.results[r.ID] = r
-	d.mu.Unlock()
-	obsRetired.Inc()
-}
-
-// Results snapshots the retired devices by ID. Complete only after
+// Results snapshots the retired devices by ID: it drains every shard's
+// retirement stack into the retained map (in each shard's publish
+// order, so a duplicate ID's later retirement wins exactly as the old
+// single-map scheme behaved) and returns a copy. Complete only after
 // Quiesce (finite fleets) or Drain.
 func (d *Daemon) Results() map[uint64]*DeviceResult {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.resMu.Lock()
+	defer d.resMu.Unlock()
+	for _, s := range d.shards {
+		// The stack pops newest-first; a device's retirements all land
+		// on its owning shard's stack, so reversing restores their
+		// publish order before the map merge.
+		var list []*DeviceResult
+		for n := s.retired.Swap(nil); n != nil; n = n.next {
+			list = append(list, n.r)
+		}
+		for i := len(list) - 1; i >= 0; i-- {
+			d.results[list[i].ID] = list[i]
+		}
+	}
 	out := make(map[uint64]*DeviceResult, len(d.results))
 	for k, v := range d.results {
 		out[k] = v
@@ -311,6 +337,11 @@ func (d *Daemon) Drain(timeout time.Duration) (*obs.Snapshot, error) {
 	case <-time.After(timeout):
 		return nil, fmt.Errorf("svc: drain timed out after %v", timeout)
 	}
+	if d.pipe != nil {
+		// Every shard has exited, so no further submissions exist; the
+		// pools drain their queues stage by stage and stop.
+		d.pipe.shutdown()
+	}
 	obsDrains.Inc()
 	return obs.Capture(), nil
 }
@@ -323,9 +354,12 @@ type shardCmd struct {
 }
 
 // shard owns a disjoint set of device sessions: the only goroutine that
-// touches them is the shard's run loop, so session state needs no locks.
-// The atomic mirrors (live, timers, pending) exist for the management
-// surface — gauges and Quiesce read them cross-shard.
+// touches them is the shard's run loop — except while a session's sweep
+// token is in flight through the staged pipeline, during which the
+// token's holder owns the session and the shard keeps its hands off
+// until the completion comes back. The atomic mirrors (live, timers,
+// pending, inflight) exist for the management surface — gauges and
+// Quiesce read them cross-shard.
 type shard struct {
 	d     *Daemon
 	id    int
@@ -334,9 +368,28 @@ type shard struct {
 
 	sessions map[uint64]*deviceSession
 
-	live    atomic.Int64 // live sessions (mirror of len(sessions))
-	timers  atomic.Int64 // pending wheel timers
-	pending atomic.Int64 // queued-but-unprocessed commands
+	live     atomic.Int64 // live sessions (mirror of len(sessions))
+	timers   atomic.Int64 // pending wheel timers
+	pending  atomic.Int64 // queued-but-unprocessed commands
+	inflight atomic.Int64 // sweep tokens out in the pipeline
+
+	// comps is the completion mailbox: track workers append finished
+	// tokens (never blocking) and nudge compWake; the shard drains it
+	// on its own goroutine, where retiring and rescheduling are safe.
+	compMu   sync.Mutex
+	comps    []*sweepToken
+	compWake chan struct{}
+
+	// retired is the shard's lock-free retirement stack (Treiber);
+	// Results() drains it. Publishing here instead of a daemon-wide
+	// mutexed map keeps retirement off the cross-shard lock.
+	retired atomic.Pointer[retNode]
+}
+
+// retNode is one link of a shard's retirement stack.
+type retNode struct {
+	r    *DeviceResult
+	next *retNode
 }
 
 func newShard(d *Daemon, id int) *shard {
@@ -346,17 +399,77 @@ func newShard(d *Daemon, id int) *shard {
 		wheel:    NewWheel(d.cfg.Tick),
 		cmds:     make(chan shardCmd, d.cfg.QueueDepth),
 		sessions: make(map[uint64]*deviceSession),
+		compWake: make(chan struct{}, 1),
 	}
 }
 
-// run is the shard loop. Virtual mode: drain commands, advance the
-// wheel straight to its next pending timer, repeat; block only when
-// idle. Wall mode: advance the wheel to wall-now, then sleep toward the
-// earliest due timer (capped at one tick so fresh attaches are picked up
-// promptly).
+// retire publishes a finished device onto the shard's retirement stack.
+// Called from the shard goroutine only; Results() swaps the stack out.
+func (s *shard) retire(r *DeviceResult) {
+	n := &retNode{r: r}
+	for {
+		old := s.retired.Load()
+		n.next = old
+		if s.retired.CompareAndSwap(old, n) {
+			break
+		}
+	}
+	obsRetired.Inc()
+}
+
+// complete delivers a finished sweep token back to its owning shard.
+// Called from pipeline workers; never blocks.
+func (s *shard) complete(t *sweepToken) {
+	s.compMu.Lock()
+	s.comps = append(s.comps, t)
+	s.compMu.Unlock()
+	select {
+	case s.compWake <- struct{}{}:
+	default:
+	}
+}
+
+// drainCompletions processes every delivered completion on the shard
+// goroutine: retire on error or exhaustion, reschedule otherwise. With
+// retiring=true (shutdown) nothing is rescheduled — live sessions stay
+// in the map for the final retirement pass.
+func (s *shard) drainCompletions(retiring bool) {
+	s.compMu.Lock()
+	list := s.comps
+	s.comps = nil
+	s.compMu.Unlock()
+	for _, t := range list {
+		ds := t.ds
+		ds.inflight = false
+		s.inflight.Add(-1)
+		switch {
+		case t.err != nil:
+			s.remove(ds, t.err)
+		case retiring:
+			// Shutdown retires it with partial results below.
+		case ds.full.Done() || ds.detachWanted:
+			s.remove(ds, nil)
+		default:
+			ds.scheduleNext()
+			s.timers.Store(int64(s.wheel.Len()))
+		}
+	}
+}
+
+// run is the shard loop. Virtual mode: drain completions and commands,
+// advance the wheel straight to its next pending timer, repeat; block
+// only when idle (no timers and nothing in flight). Wall mode: one
+// Advance call fires every timer due at this wakeup — all same-tick
+// fires batch into a single pass — then the loop sleeps until the
+// earliest pending timer is due, or blocks indefinitely on lifecycle
+// traffic, completions, and stop when the wheel is empty. (It
+// historically woke every wheel tick regardless of the schedule, which
+// at the 1 ms default burned a wakeup per shard per millisecond on an
+// idle fleet.)
 func (s *shard) run() {
 	defer s.d.wg.Done()
 	for {
+		s.drainCompletions(false)
 		s.drainCmds()
 		if s.stopRequested() {
 			s.shutdown()
@@ -368,8 +481,10 @@ func (s *shard) run() {
 				s.timers.Store(int64(s.wheel.Len()))
 				continue
 			}
-			// Idle: wait for lifecycle traffic or stop.
+			// No timers: wait for pipeline completions (which schedule
+			// the next timer), lifecycle traffic, or stop.
 			select {
+			case <-s.compWake:
 			case c := <-s.cmds:
 				s.apply(c)
 			case <-s.d.stopCh:
@@ -380,23 +495,25 @@ func (s *shard) run() {
 		now := time.Since(s.d.start)
 		s.wheel.Advance(now)
 		s.timers.Store(int64(s.wheel.Len()))
-		wait := s.wheel.Tick()
+		var tmr *time.Timer
+		var timerC <-chan time.Time
 		if due, ok := s.wheel.NextDue(); ok {
-			if until := due - time.Since(s.d.start); until < wait {
-				wait = until
+			wait := due - time.Since(s.d.start)
+			if wait <= 0 {
+				continue
 			}
+			tmr = time.NewTimer(wait)
+			timerC = tmr.C
 		}
-		if wait <= 0 {
-			continue
-		}
-		t := time.NewTimer(wait)
 		select {
 		case c := <-s.cmds:
-			t.Stop()
 			s.apply(c)
+		case <-s.compWake:
 		case <-s.d.stopCh:
-			t.Stop()
-		case <-t.C:
+		case <-timerC:
+		}
+		if tmr != nil {
+			tmr.Stop()
 		}
 	}
 }
@@ -444,6 +561,12 @@ func (s *shard) apply(c shardCmd) {
 		obsAttachErrors.Inc()
 		return
 	}
+	if ds.inflight {
+		// The session is out in the pipeline; the completion handler
+		// performs the removal once the token comes home.
+		ds.detachWanted = true
+		return
+	}
 	s.remove(ds, nil)
 }
 
@@ -451,14 +574,14 @@ func (s *shard) apply(c shardCmd) {
 func (s *shard) attach(id uint64, cfg DeviceConfig) {
 	if _, dup := s.sessions[id]; dup {
 		obsAttachErrors.Inc()
-		s.d.retire(&DeviceResult{ID: id, Stat: cfg.Stat,
+		s.retire(&DeviceResult{ID: id, Stat: cfg.Stat,
 			Err: fmt.Errorf("svc: device %d already attached", id)})
 		return
 	}
 	ds, err := newDeviceSession(s, id, cfg)
 	if err != nil {
 		obsAttachErrors.Inc()
-		s.d.retire(&DeviceResult{ID: id, Stat: cfg.Stat, Err: err})
+		s.retire(&DeviceResult{ID: id, Stat: cfg.Stat, Err: err})
 		return
 	}
 	s.sessions[id] = ds
@@ -474,13 +597,14 @@ func (s *shard) remove(ds *deviceSession, err error) {
 	delete(s.sessions, ds.id)
 	s.live.Add(-1)
 	s.timers.Store(int64(s.wheel.Len()))
-	s.d.retire(ds.result(err))
+	s.retire(ds.result(err))
 }
 
 // shutdown drains the shard at stop: leftover queued attaches retire
 // as ErrDraining without building (accounted, never lost), queued
-// detaches apply, every live session retires with partial results, and
-// the wheel is discarded.
+// detaches apply, in-flight pipeline sweeps finish and come home, every
+// live session retires with partial results, and the wheel is
+// discarded.
 func (s *shard) shutdown() {
 	for {
 		c, ok := s.takeCmd()
@@ -488,18 +612,28 @@ func (s *shard) shutdown() {
 			break
 		}
 		if c.attach {
-			s.d.retire(&DeviceResult{ID: c.id, Stat: c.cfg.Stat, Err: ErrDraining})
-		} else if ds, live := s.sessions[c.id]; live {
+			s.retire(&DeviceResult{ID: c.id, Stat: c.cfg.Stat, Err: ErrDraining})
+		} else if ds, live := s.sessions[c.id]; live && !ds.inflight {
 			s.remove(ds, nil)
+		} else if live {
+			ds.detachWanted = true
 		} else {
 			obsAttachErrors.Inc()
 		}
 		s.pending.Add(-1)
 	}
+	// Wait out sweeps still in the pipeline: their tokens own the
+	// session state, so retiring before they land would race the
+	// workers. The pools keep draining until every token is home.
+	for s.inflight.Load() > 0 {
+		<-s.compWake
+		s.drainCompletions(true)
+	}
+	s.drainCompletions(true)
 	for _, ds := range s.sessions {
 		s.wheel.Cancel(ds.timer)
 		ds.timer = nil
-		s.d.retire(ds.result(nil))
+		s.retire(ds.result(nil))
 	}
 	s.sessions = make(map[uint64]*deviceSession)
 	s.live.Store(0)

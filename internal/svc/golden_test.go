@@ -66,12 +66,17 @@ func sequentialTraces(t *testing.T, office *sim.Office, seeds map[uint64]int64) 
 }
 
 // daemonTraces runs the same fleet through a virtual-time daemon at the
-// given shard count and returns the fix tables.
-func daemonTraces(t *testing.T, office *sim.Office, seeds map[uint64]int64, shards int, coalesce bool) map[uint64]string {
+// given shard count and returns the fix tables. Devices attach with the
+// given scheduling class (relevant only when cfg arms the staged
+// pipeline).
+func daemonTraces(t *testing.T, office *sim.Office, seeds map[uint64]int64, cfg Config, class Class) map[uint64]string {
 	t.Helper()
-	d := NewDaemon(Config{Shards: shards, Office: office, Virtual: true, Coalesce: coalesce})
+	cfg.Office = office
+	cfg.Virtual = true
+	d := NewDaemon(cfg)
 	for id, seed := range seeds {
-		if err := d.Attach(id, DeviceConfig{Seed: seed, Session: goldenSession(), Estimator: goldenEstimator()}); err != nil {
+		if err := d.Attach(id, DeviceConfig{Seed: seed, Class: class,
+			Session: goldenSession(), Estimator: goldenEstimator()}); err != nil {
 			t.Fatalf("attach %d: %v", id, err)
 		}
 	}
@@ -116,16 +121,29 @@ func TestDaemonGoldenTraceMatchesSequential(t *testing.T) {
 		}
 	}
 
+	// The staged-pipeline cases pin the tentpole invariant: cutting a
+	// sweep into ingest/solve/track stages executed by three different
+	// worker pools must not change a single byte of any device's fix
+	// trace — at 1 shard, at 8 shards, with the coalescer merging
+	// cross-device solves, and regardless of class (bulk class only
+	// changes dequeue ORDER; preemption stays off here because
+	// park/resume legitimately alters solve trajectories).
 	for _, tc := range []struct {
-		name     string
-		shards   int
-		coalesce bool
+		name  string
+		cfg   Config
+		class Class
 	}{
-		{"1shard", 1, false},
-		{"8shards_coalesced", 8, true},
+		{"1shard", Config{Shards: 1}, ClassLatency},
+		{"8shards_coalesced", Config{Shards: 8, Coalesce: true}, ClassLatency},
+		{"1shard_pipeline", Config{Shards: 1,
+			Pipeline: PipelineConfig{Enabled: true}}, ClassLatency},
+		{"8shards_pipeline_coalesced", Config{Shards: 8, Coalesce: true,
+			Pipeline: PipelineConfig{Enabled: true}}, ClassLatency},
+		{"8shards_pipeline_bulk", Config{Shards: 8,
+			Pipeline: PipelineConfig{Enabled: true, SolveWorkers: 2, QueueDepth: 2}}, ClassBulk},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			got := daemonTraces(t, office, seeds, tc.shards, tc.coalesce)
+			got := daemonTraces(t, office, seeds, tc.cfg, tc.class)
 			if len(got) != len(want) {
 				t.Fatalf("daemon retired %d devices, want %d", len(got), len(want))
 			}

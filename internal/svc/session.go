@@ -33,6 +33,18 @@ type deviceSession struct {
 
 	// Full pipeline.
 	full *track.Session
+	est  *tof.Estimator // the full session's estimator (preempt hook target)
+
+	// Staged-pipeline state, owned by the shard goroutine except where
+	// noted. inflight marks a sweep token out in the pipeline (the
+	// token holder owns the session until it completes); detachWanted
+	// defers a detach that arrived mid-flight. lastFixWall is the wall
+	// clock of the device's previous completed sweep (obs.Tick units),
+	// touched only by whoever owns the session at fix time — it backs
+	// the per-class inter-fix latency histograms.
+	inflight     bool
+	detachWanted bool
+	lastFixWall  int64
 
 	// Stat pipeline.
 	rng     *rand.Rand
@@ -82,7 +94,25 @@ func newDeviceSession(s *shard, id uint64, cfg DeviceConfig) (*deviceSession, er
 		return nil, err
 	}
 	ds.full = full
+	ds.est = est
 	return ds, nil
+}
+
+// recordFixGap feeds the device's wall time since its previous
+// completed sweep into its class's inter-fix histogram. Recorded on
+// both execution paths (inline and staged), so the same metric compares
+// head-of-line blocking across modes: inline, a delayed timer fire
+// widens the gap; staged, queueing does.
+func (ds *deviceSession) recordFixGap() {
+	now := obs.Tick()
+	if ds.lastFixWall != 0 {
+		if ds.cfg.Class == ClassBulk {
+			obsFixBulkNs.Observe(float64(now - ds.lastFixWall))
+		} else {
+			obsFixLatencyNs.Observe(float64(now - ds.lastFixWall))
+		}
+	}
+	ds.lastFixWall = now
 }
 
 // scheduleNext books the device's next event on the shard wheel, mapping
@@ -105,6 +135,15 @@ func (ds *deviceSession) scheduleNext() {
 // reschedules or retires the device.
 func (ds *deviceSession) fire() {
 	if ds.full != nil {
+		if p := ds.shard.d.pipe; p != nil {
+			// Staged path: hand the sweep to the pipeline as a token.
+			// The session is untouchable until the completion returns;
+			// rescheduling and retirement happen there.
+			ds.inflight = true
+			ds.shard.inflight.Add(1)
+			p.submit(&sweepToken{ds: ds, class: ds.cfg.Class, start: obs.Tick()})
+			return
+		}
 		start := obs.Tick()
 		if err := ds.full.StepSweep(); err != nil {
 			ds.shard.remove(ds, err)
@@ -112,6 +151,7 @@ func (ds *deviceSession) fire() {
 		}
 		obsSweepNs.Since(start)
 		obsFullSweeps.Inc()
+		ds.recordFixGap()
 		if ds.full.Done() {
 			ds.shard.remove(ds, nil)
 			return

@@ -105,6 +105,15 @@ type Config struct {
 	// un-coalesced: they are short, latency-critical, and their window
 	// geometries rarely coincide across sessions.
 	Coalescer *Coalescer
+	// Preempt, when non-nil, is forwarded to the main profile inversions
+	// (ndft.InvertOptions.Preempt): the solver polls it at duality-gap
+	// check boundaries and, when it fires, parks the solve — Estimate
+	// returns ErrSolveParked and the parked iterate is retained on the
+	// Sweep as a one-shot resume seed for the next Estimate of the same
+	// geometry. Alias refits are never preemptible. Schedulers that own
+	// an estimator exclusively install the hook only around the solves
+	// they want preemptible (see SetPreempt). Nil disables preemption.
+	Preempt func() bool
 }
 
 func (c Config) withDefaults() Config {
@@ -161,6 +170,13 @@ func (e *Estimator) Config() Config { return e.cfg }
 // value Calibrate returns) without rebuilding the estimator.
 func (e *Estimator) SetCalibrationOffset(off float64) { e.cfg.CalibrationOffset = off }
 
+// SetPreempt installs (nil clears) the preemption hook without
+// rebuilding the estimator — see Config.Preempt. Like Calibrate it
+// mutates the estimator's config, so it must not race with Estimate
+// calls; schedulers that own an estimator exclusively install the hook
+// before a preemptible solve and clear it after.
+func (e *Estimator) SetPreempt(f func() bool) { e.cfg.Preempt = f }
+
 // Profile is a multipath profile expressed in true time-of-flight units
 // (the channel-power scaling has been divided out).
 type Profile struct {
@@ -215,6 +231,13 @@ type Estimate struct {
 // ErrNoBands reports that no usable band measurements were supplied.
 var ErrNoBands = errors.New("tof: no usable band measurements")
 
+// ErrSolveParked reports that a main profile inversion was preempted
+// (Config.Preempt fired): the estimate was not produced, but the parked
+// iterate is retained on the Sweep as a one-shot warm seed, so retrying
+// the same Estimate resumes the optimization from its restricted
+// support instead of starting over.
+var ErrSolveParked = errors.New("tof: solve parked by preemption")
+
 type bandMeas struct {
 	freq  float64
 	value complex128
@@ -266,6 +289,12 @@ type Sweep struct {
 	// estSeq counts Estimate calls on this sweep stream; window seeds
 	// stamp it to drive least-recently-matched eviction.
 	estSeq int64
+	// parked holds the iterates of preempted main inversions, keyed like
+	// the warm groups by full plan geometry. Each entry is consumed by
+	// the next Estimate of that geometry as a one-shot warm seed — the
+	// restricted-support resume — independent of the warm-start policy
+	// (a parked seed works even with warm starts disabled or reverted).
+	parked map[planKey]dsp.Vec
 	// foldScratch holds per-pair folded values while AddBand measures a
 	// band's mean and spread.
 	foldScratch dsp.Vec
@@ -584,10 +613,26 @@ func (e *Estimator) estimate(s *Sweep) (*Estimate, error) {
 			freqs[i] = m.freq
 			h[i] = m.value
 		}
+		// Resolve the group's plan before the noise estimate: the
+		// single-pair fallback below needs the dictionary.
+		key, plan, err := e.planForGroup(freqs, power)
+		if err != nil {
+			return nil, err
+		}
 		// The per-sweep noise estimate drives both the solver's gap
 		// tolerance and the alias-evidence gates; noiseRel normalizes it
 		// for the gates (residual comparisons scale with ‖h‖).
 		noiseEst := groupNoiseFloor(g)
+		if noiseEst == 0 {
+			// Single-pair dwells: no repeated-pair spread to measure, so
+			// fall back to the cross-band robust estimate — the MAD of
+			// the adjoint-correlation magnitudes over the delay grid
+			// (ndft.Plan.NoiseFloor), which reads the same ‖w‖₂ off the
+			// measurement itself. One dense adjoint pass, paid only when
+			// the spread estimator has nothing to say.
+			noiseEst = plan.NoiseFloor(h)
+			obsNoiseFallbacks.Inc()
+		}
 		noiseRel := 0.0
 		if hNorm := dsp.Norm2(h); hNorm > 0 {
 			noiseRel = noiseEst / hNorm
@@ -607,7 +652,7 @@ func (e *Estimator) estimate(s *Sweep) (*Estimate, error) {
 			gapFloor = 0
 		}
 		solveStart := obs.Tick()
-		prof, sol, err := e.invertGroup(freqs, h, power, s, gapFloor)
+		prof, sol, err := e.invertGroup(key, plan, h, power, s, gapFloor)
 		obsStageSolveNs.Since(solveStart)
 		totalWork += sol.Work
 		if err != nil {
@@ -754,13 +799,9 @@ func (e *Estimator) solveGroup(plan *ndft.Plan, req ndft.SolveRequest) (*ndft.Re
 	return res, 1, err
 }
 
-// invertGroup runs Algorithm 1 for one power group and rescales the
-// resulting profile from the h̃ᵖ delay domain back to true τ. The plan
-// for the group's geometry comes from the shared registry; the sweep
-// supplies (and retains) the warm-start profile when enabled.
-// noiseFloor is the group's per-sweep ‖w‖₂ estimate, which scales the
-// solver's duality-gap stopping tolerance (0 disables the gap rule).
-func (e *Estimator) invertGroup(freqs []float64, h dsp.Vec, power int, s *Sweep, noiseFloor float64) (*Profile, solveMeta, error) {
+// planForGroup resolves (building and registering on demand) the shared
+// plan for one power group's inversion geometry.
+func (e *Estimator) planForGroup(freqs []float64, power int) (planKey, *ndft.Plan, error) {
 	key := newPlanKey(freqs, power, e.cfg.MaxTau, e.cfg.GridStep)
 	plan, err := e.plans.planFor(key, func() (*ndft.Plan, error) {
 		// The h̃ᵖ profile lives on delays that are sums of p path delays,
@@ -770,12 +811,26 @@ func (e *Estimator) invertGroup(freqs []float64, h dsp.Vec, power int, s *Sweep,
 		taus := ndft.TauGrid(float64(power)*e.cfg.MaxTau, float64(power)*e.cfg.GridStep)
 		return ndft.NewPlan(freqs, taus)
 	})
-	if err != nil {
-		return nil, solveMeta{}, err
-	}
+	return key, plan, err
+}
+
+// invertGroup runs Algorithm 1 for one power group and rescales the
+// resulting profile from the h̃ᵖ delay domain back to true τ. The sweep
+// supplies (and retains) the warm-start profile when enabled; a parked
+// seed left by a preempted solve of the same geometry takes precedence
+// and is consumed. noiseFloor is the group's per-sweep ‖w‖₂ estimate,
+// which scales the solver's duality-gap stopping tolerance (0 disables
+// the gap rule). A solve parked by the Preempt hook stores its iterate
+// as the geometry's resume seed and surfaces as ErrSolveParked.
+func (e *Estimator) invertGroup(key planKey, plan *ndft.Plan, h dsp.Vec, power int, s *Sweep, noiseFloor float64) (*Profile, solveMeta, error) {
 	g := s.warmState(key)
 	var warm dsp.Vec
-	if g != nil && !g.off && len(g.profile) == len(plan.Taus) {
+	resumed := false
+	if seed, ok := s.parked[key]; ok && len(seed) == len(plan.Taus) {
+		warm = seed
+		resumed = true
+		delete(s.parked, key)
+	} else if g != nil && !g.off && len(g.profile) == len(plan.Taus) {
 		warm = g.profile
 	}
 	res, batch, err := e.solveGroup(plan, ndft.SolveRequest{
@@ -787,13 +842,35 @@ func (e *Estimator) invertGroup(freqs []float64, h dsp.Vec, power int, s *Sweep,
 			Stop:       e.cfg.Stop,
 			GapScale:   e.cfg.GapScale,
 			NoiseFloor: noiseFloor,
+			Preempt:    e.cfg.Preempt,
 		},
 	})
 	if err != nil {
 		return nil, solveMeta{}, err
 	}
+	if res.Parked {
+		// Preempted: retain the iterate as the geometry's one-shot
+		// resume seed (copied — res.Profile's backing array belongs to
+		// the solve) and report the work paid so far. The warm policy is
+		// not consulted: a parked iterate is neither a hit nor a miss.
+		if s.parked == nil {
+			s.parked = make(map[planKey]dsp.Vec, 1)
+		}
+		s.parked[key] = append(s.parked[key][:0], res.Profile...)
+		obsSolveParks.Inc()
+		return nil, solveMeta{Work: res.Work, Iterations: res.Iterations}, ErrSolveParked
+	}
 	if g != nil {
-		g.observe(warm != nil, res)
+		if resumed {
+			// A resumed solve's work is subsidized by the parked phase,
+			// so it must not skew the warm-efficacy policy; just retain
+			// the converged profile as the next seed.
+			if !g.off {
+				g.store(res.Profile)
+			}
+		} else {
+			g.observe(warm != nil, res)
+		}
 	}
 	taus := make([]float64, len(res.Taus))
 	for i, t := range res.Taus {

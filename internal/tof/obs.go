@@ -25,6 +25,14 @@ var (
 	// obsNoiseRel is the per-group relative noise floor ‖w‖/‖h‖ — the
 	// quantity that gates gap stopping and alias evidence.
 	obsNoiseRel = obs.NewHist("tof.noise_rel")
+	// obsNoiseFallbacks counts groups whose pair-spread noise estimate
+	// was empty (single-pair dwells) and fell back to the cross-band MAD
+	// floor (ndft.Plan.NoiseFloor).
+	obsNoiseFallbacks = obs.NewCounter("tof.noise_fallbacks")
+	// obsSolveParks counts main inversions preempted mid-solve
+	// (ErrSolveParked): the parked iterate was retained as a resume seed
+	// and the sweep's estimate deferred.
+	obsSolveParks = obs.NewCounter("tof.solve.parks")
 	// obsStageSolveNs spans the coalesced-solve stage of one group:
 	// registry resolution plus Plan.Solve (or the coalescer round trip).
 	obsStageSolveNs = obs.NewHist("tof.stage.solve_ns")

@@ -156,6 +156,14 @@ type Session struct {
 	prevFixAt       time.Duration
 	havePrevFix     bool
 	sweeps          int // completed sweeps
+
+	// Staged-pipeline state: one sweep in flight between StepIngest and
+	// StepTrack. sweepStart is the virtual time the in-flight sweep
+	// began; pendEst holds the solved estimate between StepSolve and
+	// StepTrack (nil when the estimator failed and the fix is skipped).
+	sweepStart time.Duration
+	ingested   bool
+	pendEst    *tof.Estimate
 }
 
 // NewSession builds and calibrates a steppable session. It performs the
@@ -237,15 +245,51 @@ func (s *Session) Done() bool { return s.cfg.Sweeps >= 0 && s.sweeps >= s.cfg.Sw
 // exhausted.
 var ErrSessionDone = errors.New("track: session already ran its configured sweeps")
 
+// ErrStageOrder is returned when the staged entry points are called out
+// of order: StepSolve or StepTrack without a completed StepIngest, or
+// StepIngest while a sweep is still in flight.
+var ErrStageOrder = errors.New("track: pipeline stage called out of order")
+
 // StepSweep streams one full band sweep: band-by-band CSI capture while
 // the target keeps walking, hop-protocol timing on the session's virtual
 // MAC timeline, early checkpoint fixes, and the final Kalman-filtered
 // fix with warm-seed bookkeeping. It is exactly one iteration of
 // RunSession's sweep loop, including the inter-sweep hop back to the
 // first band when more sweeps remain.
+//
+// StepSweep is the run-to-completion composition of the staged entry
+// points — StepIngest, StepSolve (repeated while the solve parks), then
+// StepTrack — and is byte-identical to executing the stages separately.
+// The chronos-svc staged pipeline calls the stages individually so each
+// can run on its own worker pool.
 func (s *Session) StepSweep() error {
+	if err := s.StepIngest(); err != nil {
+		return err
+	}
+	for {
+		parked, err := s.StepSolve()
+		if err != nil {
+			return err
+		}
+		if !parked {
+			break
+		}
+	}
+	return s.StepTrack()
+}
+
+// StepIngest runs the capture stage of one sweep: band-by-band CSI
+// acquisition while the target walks, hop timing on the virtual MAC
+// timeline, and the early checkpoint fixes. Every random draw of the
+// sweep happens here, which is what lets the later stages run on other
+// worker pools without touching the session's rng. After a successful
+// return the sweep is in flight: the session expects StepSolve next.
+func (s *Session) StepIngest() error {
 	if s.Done() {
 		return ErrSessionDone
+	}
+	if s.ingested {
+		return ErrStageOrder
 	}
 	cfg := s.cfg
 	s.acc.Reset()
@@ -289,7 +333,46 @@ func (s *Session) StepSweep() error {
 	}
 
 	obsStageSweepNs.Since(sweepTick)
-	if r, err := s.acc.Estimate(); err == nil {
+	s.sweepStart = start
+	s.ingested = true
+	s.pendEst = nil
+	return nil
+}
+
+// StepSolve runs the inversion stage of the in-flight sweep: one
+// tof.Sweep.Estimate over the bands StepIngest folded in. It returns
+// parked=true when the estimator's preemption hook yielded the solve
+// mid-iterate (tof.ErrSolveParked); the sweep stays in flight and a
+// later StepSolve resumes from the parked seed. Estimator failures are
+// swallowed exactly as RunSession's loop swallows them — the fix is
+// skipped and StepTrack completes the sweep without one.
+func (s *Session) StepSolve() (parked bool, err error) {
+	if !s.ingested {
+		return false, ErrStageOrder
+	}
+	r, err := s.acc.Estimate()
+	if err != nil {
+		if errors.Is(err, tof.ErrSolveParked) {
+			return true, nil
+		}
+		s.pendEst = nil
+		return false, nil
+	}
+	s.pendEst = r
+	return false, nil
+}
+
+// StepTrack runs the tracking stage of the in-flight sweep: Kalman
+// filtering of the solved range, fix recording, warm-seed translation,
+// and the inter-sweep hop back to the first band. It completes the
+// sweep; the session is ready for the next StepIngest afterwards.
+func (s *Session) StepTrack() error {
+	if !s.ingested {
+		return ErrStageOrder
+	}
+	cfg := s.cfg
+	start := s.sweepStart
+	if r := s.pendEst; r != nil {
 		raw := r.Distance - s.offset*wifi.SpeedOfLight
 		now := s.msim.Now()
 		truth := s.anchor.Dist(s.targetAt(now))
@@ -325,6 +408,8 @@ func (s *Session) StepSweep() error {
 		s.msim.RunAll()
 	}
 	s.sweeps++
+	s.ingested = false
+	s.pendEst = nil
 	return nil
 }
 
